@@ -1,0 +1,284 @@
+// mac3d — command-line front end to the simulator.
+//
+// Run any workload (or a saved trace) through any memory path with any
+// configuration, and print a table or machine-readable CSV:
+//
+//   mac3d run  --workload sg --paths raw,mac --threads 8 --scale 1.0
+//   mac3d run  --trace /tmp/sg.trace --paths mac --csv
+//   mac3d suite --scale 0.5                  # the full 12-workload sweep
+//   mac3d trace --workload mg --out mg.trace # dump a trace for replay
+//   mac3d list                               # available workloads
+//   mac3d config                             # effective Table-1 config
+//
+// Config overrides compose from MAC3D_CONFIG and repeated --set key=value.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/driver.hpp"
+#include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/report.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace mac3d;
+
+struct CliOptions {
+  std::string command;
+  std::string workload = "sg";
+  std::string trace_path;
+  std::string out_path;
+  std::vector<std::string> paths = {"raw", "mac"};
+  std::uint32_t threads = 0;  // 0 = config.cores
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  bool csv = false;
+  bool closed_loop = false;
+  std::vector<std::string> overrides;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: mac3d <run|suite|trace|list|config> [options]\n"
+               "  --workload NAME   workload to trace (default sg)\n"
+               "  --trace FILE      replay a saved trace instead\n"
+               "  --out FILE        output trace file (trace command)\n"
+               "  --paths a,b,c     raw | mac | mshr (default raw,mac)\n"
+               "  --threads N       thread streams (default: cores)\n"
+               "  --scale X         dataset scale (default 1.0)\n"
+               "  --seed N          workload seed (default 42)\n"
+               "  --set key=value   config override (repeatable)\n"
+               "  --closed-loop     execution-driven feed (default: "
+               "streaming)\n"
+               "  --csv             machine-readable output\n");
+}
+
+std::optional<CliOptions> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  CliOptions options;
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      options.workload = value();
+    } else if (arg == "--trace") {
+      options.trace_path = value();
+    } else if (arg == "--out") {
+      options.out_path = value();
+    } else if (arg == "--paths") {
+      options.paths.clear();
+      std::string list = value();
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        options.paths.push_back(list.substr(
+            pos, comma == std::string::npos ? comma : comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else if (arg == "--threads") {
+      options.threads = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--scale") {
+      options.scale = std::atof(value());
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--set") {
+      options.overrides.push_back(value());
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--closed-loop") {
+      options.closed_loop = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+SimConfig make_config(const CliOptions& options) {
+  SimConfig config;
+  config.apply_env();
+  for (const std::string& override_text : options.overrides) {
+    config.parse_override_string(override_text);
+  }
+  config.validate();
+  return config;
+}
+
+MemoryTrace make_trace(const CliOptions& options, const SimConfig& config) {
+  if (!options.trace_path.empty()) {
+    return load_trace(options.trace_path);
+  }
+  const Workload* workload = find_workload(options.workload);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (try `mac3d list`)\n",
+                 options.workload.c_str());
+    std::exit(2);
+  }
+  WorkloadParams params;
+  params.threads = options.threads == 0 ? config.cores : options.threads;
+  params.scale = options.scale;
+  params.seed = options.seed;
+  params.config = config;
+  return workload->trace(params);
+}
+
+int cmd_run(const CliOptions& options) {
+  const SimConfig config = make_config(options);
+  const std::uint32_t threads =
+      options.threads == 0 ? config.cores : options.threads;
+  const MemoryTrace trace = make_trace(options, config);
+
+  DriveOptions drive;
+  drive.mode = options.closed_loop ? FeedMode::kClosedLoop
+                                   : FeedMode::kStreaming;
+
+  std::vector<DriverResult> results;
+  for (const std::string& path : options.paths) {
+    if (path == "raw") {
+      results.push_back(run_raw(trace, config, threads, drive));
+    } else if (path == "mac") {
+      results.push_back(run_mac(trace, config, threads, drive));
+    } else if (path == "mshr") {
+      results.push_back(run_mshr(trace, config, threads, 32, 64, drive));
+    } else {
+      std::fprintf(stderr, "unknown path '%s'\n", path.c_str());
+      return 2;
+    }
+  }
+
+  if (options.csv) {
+    StatSet stats;
+    for (const DriverResult& result : results) {
+      result.collect(stats, result.path);
+    }
+    std::cout << stats.to_csv();
+    return 0;
+  }
+
+  print_banner("mac3d run: " +
+               (options.trace_path.empty() ? options.workload
+                                           : options.trace_path));
+  std::printf("%s records, %u threads, scale %.2f, %s feed\n\n",
+              Table::count(trace.size()).c_str(), threads, options.scale,
+              options.closed_loop ? "closed-loop" : "streaming");
+  Table table({"path", "packets", "coal. eff", "bw eff", "avg packet",
+               "bank conflicts", "avg latency", "makespan"});
+  for (const DriverResult& result : results) {
+    table.add_row(
+        {result.path, Table::count(result.packets),
+         Table::pct(result.coalescing_efficiency()),
+         Table::pct(result.bandwidth_efficiency()),
+         Table::bytes(static_cast<std::uint64_t>(result.avg_packet_bytes)),
+         Table::count(result.bank_conflicts),
+         Table::fmt(result.avg_latency_cycles, 0) + " cy",
+         Table::count(result.makespan) + " cy"});
+  }
+  table.print();
+  if (results.size() >= 2 && results[0].path == "raw") {
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      std::printf("memory speedup %s vs raw: %s\n",
+                  results[i].path.c_str(),
+                  Table::pct(memory_speedup(results[0], results[i])).c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_suite(const CliOptions& options) {
+  SuiteOptions suite;
+  suite.config = make_config(options);
+  suite.threads = options.threads == 0 ? suite.config.cores : options.threads;
+  suite.scale = options.scale;
+  suite.seed = options.seed;
+  const auto runs = run_suite(suite);
+  if (options.csv) {
+    // Plain numbers (no thousands separators) to keep the CSV parseable.
+    std::printf(
+        "workload,raw_packets,mac_packets,coalescing_efficiency,"
+        "bandwidth_efficiency,speedup\n");
+    for (const WorkloadRun& run : runs) {
+      std::printf("%s,%llu,%llu,%.6f,%.6f,%.6f\n", run.name.c_str(),
+                  static_cast<unsigned long long>(run.raw.packets),
+                  static_cast<unsigned long long>(run.mac.packets),
+                  run.mac.coalescing_efficiency(),
+                  run.mac.bandwidth_efficiency(),
+                  memory_speedup(run.raw, run.mac));
+    }
+    return 0;
+  }
+  Table table({"workload", "raw packets", "MAC packets", "coal. eff",
+               "bw eff", "speedup"});
+  for (const WorkloadRun& run : runs) {
+    table.add_row({run.name, Table::count(run.raw.packets),
+                   Table::count(run.mac.packets),
+                   Table::pct(run.mac.coalescing_efficiency()),
+                   Table::pct(run.mac.bandwidth_efficiency()),
+                   Table::pct(memory_speedup(run.raw, run.mac))});
+  }
+  print_banner("mac3d suite");
+  table.print();
+  return 0;
+}
+
+int cmd_trace(const CliOptions& options) {
+  const SimConfig config = make_config(options);
+  const MemoryTrace trace = make_trace(options, config);
+  const std::string out = options.out_path.empty()
+                              ? options.workload + ".trace"
+                              : options.out_path;
+  save_trace(trace, out);
+  std::printf("wrote %s records (%u threads) to %s\n",
+              Table::count(trace.size()).c_str(), trace.threads(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_list() {
+  for (const Workload* workload : workload_registry()) {
+    std::printf("%-10s %s\n", workload->name().c_str(),
+                workload->description().c_str());
+  }
+  return 0;
+}
+
+int cmd_config(const CliOptions& options) {
+  const SimConfig config = make_config(options);
+  std::printf("%s", config.to_table().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<CliOptions> options = parse(argc, argv);
+  if (!options) {
+    usage();
+    return 2;
+  }
+  try {
+    if (options->command == "run") return cmd_run(*options);
+    if (options->command == "suite") return cmd_suite(*options);
+    if (options->command == "trace") return cmd_trace(*options);
+    if (options->command == "list") return cmd_list();
+    if (options->command == "config") return cmd_config(*options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mac3d: %s\n", error.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary regenerates one table or figure of the paper. Scale the
+// workloads with MAC3D_SCALE (default 1.0 ~ a few hundred thousand memory
+// operations per workload; the paper's full-size runs are proportionally
+// larger but every reported ratio is scale-free — see DESIGN.md §4).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/report.hpp"
+#include "trace/analyzer.hpp"
+#include "workloads/all.hpp"
+
+namespace mac3d::bench {
+
+/// Upper-case the workload name the way the paper's figures label them.
+inline std::string label(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+/// Collect one efficiency series (all 12 workloads) at a thread count.
+struct SuiteSeries {
+  std::vector<WorkloadRun> runs;
+  double mean_coalescing = 0.0;
+  double mean_bandwidth = 0.0;
+};
+
+inline SuiteSeries run_series(const SuiteOptions& options) {
+  SuiteSeries series;
+  series.runs = run_suite(options);
+  std::vector<double> coalescing;
+  std::vector<double> bandwidth;
+  for (const WorkloadRun& run : series.runs) {
+    coalescing.push_back(run.mac.coalescing_efficiency());
+    bandwidth.push_back(run.mac.bandwidth_efficiency());
+  }
+  series.mean_coalescing = mean(coalescing);
+  series.mean_bandwidth = mean(bandwidth);
+  return series;
+}
+
+}  // namespace mac3d::bench

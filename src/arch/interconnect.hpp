@@ -1,0 +1,95 @@
+// Node-to-node interconnect (paper Sec. 3): fixed-latency message channel
+// carrying raw requests to remote nodes and completions back. The paper
+// leaves the fabric unspecified ("not within the scope of this paper"); we
+// model a constant per-hop latency with FIFO delivery per destination.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "mac/coalescer.hpp"
+
+namespace mac3d {
+
+class Interconnect {
+ public:
+  Interconnect(const SimConfig& config, std::uint32_t nodes)
+      : hop_cycles_(config.remote_hop_cycles),
+        request_lanes_(nodes),
+        completion_lanes_(nodes) {}
+
+  void send_request(const RawRequest& request, NodeId dest, Cycle now) {
+    request_lanes_.at(dest).push_back({now + hop_cycles_, request});
+    ++messages_;
+  }
+
+  void send_completion(const CompletedAccess& completion, NodeId dest,
+                       Cycle now) {
+    completion_lanes_.at(dest).push_back({now + hop_cycles_, completion});
+    ++messages_;
+  }
+
+  /// Pop all requests due at or before `now` destined to `dest` (FIFO).
+  std::vector<RawRequest> deliver_requests(NodeId dest, Cycle now) {
+    return deliver(request_lanes_.at(dest), now);
+  }
+  std::vector<CompletedAccess> deliver_completions(NodeId dest, Cycle now) {
+    return deliver(completion_lanes_.at(dest), now);
+  }
+
+  [[nodiscard]] bool idle() const noexcept {
+    for (const auto& lane : request_lanes_) {
+      if (!lane.empty()) return false;
+    }
+    for (const auto& lane : completion_lanes_) {
+      if (!lane.empty()) return false;
+    }
+    return true;
+  }
+
+  /// Earliest pending delivery time across all lanes (0 when idle).
+  [[nodiscard]] Cycle next_delivery() const noexcept {
+    Cycle next = 0;
+    auto scan = [&next](const auto& lanes) {
+      for (const auto& lane : lanes) {
+        if (!lane.empty() && (next == 0 || lane.front().due < next)) {
+          next = lane.front().due;
+        }
+      }
+    };
+    scan(request_lanes_);
+    scan(completion_lanes_);
+    return next;
+  }
+
+  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+  [[nodiscard]] Cycle hop_cycles() const noexcept { return hop_cycles_; }
+
+ private:
+  template <typename T>
+  struct Message {
+    Cycle due = 0;
+    T payload;
+  };
+
+  template <typename T>
+  static std::vector<T> deliver(std::deque<Message<T>>& lane, Cycle now) {
+    std::vector<T> out;
+    // Constant hop latency => lanes are ordered by due time.
+    while (!lane.empty() && lane.front().due <= now) {
+      out.push_back(std::move(lane.front().payload));
+      lane.pop_front();
+    }
+    return out;
+  }
+
+  Cycle hop_cycles_;
+  std::uint64_t messages_ = 0;
+  std::vector<std::deque<Message<RawRequest>>> request_lanes_;
+  std::vector<std::deque<Message<CompletedAccess>>> completion_lanes_;
+};
+
+}  // namespace mac3d

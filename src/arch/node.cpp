@@ -1,0 +1,115 @@
+#include "arch/node.hpp"
+
+#include <cassert>
+
+namespace mac3d {
+
+Node::Node(const SimConfig& config, NodeId id,
+           const std::vector<NodeId>* thread_owner,
+           const std::vector<CoreId>* thread_core)
+    : config_(config),
+      id_(id),
+      thread_owner_(thread_owner),
+      thread_core_(thread_core),
+      device_(std::make_unique<HmcDevice>(config, id)),
+      mac_(std::make_unique<MacCoalescer>(config, *device_)),
+      router_(std::make_unique<RequestRouter>(config, device_->address_map(),
+                                              id)) {
+  cores_.reserve(config.cores);
+  for (std::uint32_t c = 0; c < config.cores; ++c) {
+    cores_.emplace_back(config, id, static_cast<CoreId>(c));
+  }
+}
+
+void Node::add_thread(ThreadId tid, const std::vector<MemRecord>* records) {
+  cores_.at(thread_core_->at(tid)).add_thread(tid, records);
+}
+
+void Node::tick(Cycle now, Interconnect* fabric) {
+  // 1. Interconnect arrivals.
+  if (fabric != nullptr) {
+    for (const RawRequest& request : fabric->deliver_requests(id_, now)) {
+      pending_remote_.push_back(request);
+    }
+    // Retry remote requests the queue previously refused.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending_remote_.size(); ++i) {
+      if (!router_->route_remote(pending_remote_[i])) {
+        pending_remote_[kept++] = pending_remote_[i];
+      }
+    }
+    pending_remote_.resize(kept);
+    for (const CompletedAccess& completion :
+         fabric->deliver_completions(id_, now)) {
+      dispatch_completion(completion, now, nullptr);
+    }
+  }
+
+  // 2. Cores issue (at most one reference per core per cycle).
+  for (CoreModel& core : cores_) core.try_issue(now, *router_);
+
+  // 3. Forward one outbound remote request to the fabric.
+  if (fabric != nullptr && !router_->global_queue().empty()) {
+    const RawRequest request = router_->global_queue().pop();
+    fabric->send_request(request,
+                         device_->address_map().node_of(request.addr), now);
+  }
+
+  // 4. MAC intake: one raw request per cycle.
+  if (router_->has_mac_request() && mac_->can_accept()) {
+    mac_->accept(router_->pop_mac_request(), now);
+  }
+
+  // 5. Advance the MAC / device.
+  mac_->tick(now);
+
+  // 6. Response routing (paper Sec. 3.3).
+  for (const CompletedAccess& completion : mac_->drain(now)) {
+    dispatch_completion(completion, now, fabric);
+  }
+}
+
+void Node::dispatch_completion(const CompletedAccess& completion, Cycle now,
+                               Interconnect* fabric) {
+  const NodeId owner = thread_owner_->at(completion.target.tid);
+  if (owner != id_ && fabric != nullptr) {
+    fabric->send_completion(completion, owner, now);
+    return;
+  }
+  assert(owner == id_ && "completion arrived at a foreign node");
+  cores_.at(thread_core_->at(completion.target.tid))
+      .on_complete(completion.target.tid, now);
+  ++completions_delivered_;
+  request_latency_.add(static_cast<double>(completion.completed -
+                                           completion.accepted));
+}
+
+bool Node::finished() const noexcept {
+  for (const CoreModel& core : cores_) {
+    if (!core.finished()) return false;
+  }
+  return true;
+}
+
+bool Node::drained() const noexcept {
+  return finished() && mac_->idle() && !router_->has_mac_request() &&
+         router_->global_queue().empty() && pending_remote_.empty();
+}
+
+void Node::collect(StatSet& out, const std::string& prefix) const {
+  device_->stats().collect(out, prefix + ".hmc");
+  mac_->stats().collect(out, prefix + ".mac");
+  out.set(prefix + ".completions",
+          static_cast<double>(completions_delivered_));
+  out.set(prefix + ".avg_request_latency_cycles", request_latency_.mean());
+  std::uint64_t spm_accesses = 0;
+  std::uint64_t issued = 0;
+  for (const CoreModel& core : cores_) {
+    spm_accesses += core.spm_accesses();
+    issued += core.issued();
+  }
+  out.set(prefix + ".spm_accesses", static_cast<double>(spm_accesses));
+  out.set(prefix + ".core_requests", static_cast<double>(issued));
+}
+
+}  // namespace mac3d

@@ -1,0 +1,76 @@
+// One node of the NUMA system (paper Fig. 4): in-order cores with SPMs, a
+// request router, a unified MAC, and the directly-attached 3D-stacked
+// memory device. Remote traffic flows through the system interconnect.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/core_model.hpp"
+#include "arch/interconnect.hpp"
+#include "arch/request_router.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mac/coalescer.hpp"
+#include "mem/hmc_device.hpp"
+
+namespace mac3d {
+
+class Node {
+ public:
+  /// `thread_owner`: system-wide map ThreadId -> owning node (for response
+  /// routing); `thread_core`: ThreadId -> core index on its node.
+  Node(const SimConfig& config, NodeId id,
+       const std::vector<NodeId>* thread_owner,
+       const std::vector<CoreId>* thread_core);
+
+  void add_thread(ThreadId tid, const std::vector<MemRecord>* records);
+
+  /// Advance one cycle. `fabric` may be null for single-node systems.
+  void tick(Cycle now, Interconnect* fabric);
+
+  [[nodiscard]] bool finished() const noexcept;
+  [[nodiscard]] bool drained() const noexcept;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] HmcDevice& device() noexcept { return *device_; }
+  [[nodiscard]] const HmcDevice& device() const noexcept { return *device_; }
+  [[nodiscard]] MacCoalescer& mac() noexcept { return *mac_; }
+  [[nodiscard]] const MacCoalescer& mac() const noexcept { return *mac_; }
+  [[nodiscard]] RequestRouter& router() noexcept { return *router_; }
+  [[nodiscard]] CoreModel& core(std::size_t i) { return cores_.at(i); }
+  [[nodiscard]] const CoreModel& core(std::size_t i) const {
+    return cores_.at(i);
+  }
+  [[nodiscard]] std::size_t core_count() const noexcept {
+    return cores_.size();
+  }
+  [[nodiscard]] std::uint64_t completions_delivered() const noexcept {
+    return completions_delivered_;
+  }
+  [[nodiscard]] const RunningStat& request_latency() const noexcept {
+    return request_latency_;
+  }
+
+  void collect(StatSet& out, const std::string& prefix) const;
+
+ private:
+  void dispatch_completion(const CompletedAccess& completion, Cycle now,
+                           Interconnect* fabric);
+
+  SimConfig config_;
+  NodeId id_;
+  const std::vector<NodeId>* thread_owner_;
+  const std::vector<CoreId>* thread_core_;
+  std::unique_ptr<HmcDevice> device_;
+  std::unique_ptr<MacCoalescer> mac_;
+  std::unique_ptr<RequestRouter> router_;
+  std::vector<CoreModel> cores_;
+  std::vector<RawRequest> pending_remote_;  ///< retry buffer (queue full)
+  std::uint64_t completions_delivered_ = 0;
+  RunningStat request_latency_;
+};
+
+}  // namespace mac3d

@@ -1,0 +1,73 @@
+#include "arch/system.hpp"
+
+#include <stdexcept>
+
+namespace mac3d {
+
+System::System(const SimConfig& config) : config_(config) {
+  config_.validate();
+  fabric_ = std::make_unique<Interconnect>(config_, config_.nodes);
+  nodes_.reserve(config_.nodes);
+  for (std::uint32_t n = 0; n < config_.nodes; ++n) {
+    nodes_.push_back(std::make_unique<Node>(config_, static_cast<NodeId>(n),
+                                            &thread_owner_, &thread_core_));
+  }
+}
+
+void System::attach_trace(const MemoryTrace& trace) {
+  const std::uint32_t threads = trace.threads();
+  thread_owner_.resize(threads);
+  thread_core_.resize(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const NodeId node = static_cast<NodeId>(t % config_.nodes);
+    const CoreId core =
+        static_cast<CoreId>((t / config_.nodes) % config_.cores);
+    thread_owner_[t] = node;
+    thread_core_[t] = core;
+    nodes_[node]->add_thread(static_cast<ThreadId>(t),
+                             &trace.thread(static_cast<ThreadId>(t)));
+  }
+}
+
+SystemRunSummary System::run(Cycle max_cycles) {
+  SystemRunSummary summary;
+  Interconnect* fabric = nodes_.size() > 1 ? fabric_.get() : nullptr;
+
+  Cycle now = 0;
+  for (; now < max_cycles; ++now) {
+    for (auto& node : nodes_) node->tick(now, fabric);
+
+    bool drained = fabric == nullptr || fabric->idle();
+    if (drained) {
+      for (const auto& node : nodes_) {
+        if (!node->drained()) {
+          drained = false;
+          break;
+        }
+      }
+    }
+    if (drained) {
+      summary.completed = true;
+      ++now;
+      break;
+    }
+  }
+
+  summary.cycles = now;
+  RunningStat latency;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = *nodes_[i];
+    node.collect(summary.stats, "node" + std::to_string(i));
+    summary.completions += node.completions_delivered();
+    for (std::size_t c = 0; c < node.core_count(); ++c) {
+      summary.requests += node.core(c).issued();
+    }
+    latency.merge(node.request_latency());
+  }
+  summary.avg_latency_cycles = latency.mean();
+  summary.stats.set("system.cycles", static_cast<double>(summary.cycles));
+  summary.stats.set("system.completed", summary.completed ? 1.0 : 0.0);
+  return summary;
+}
+
+}  // namespace mac3d

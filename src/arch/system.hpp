@@ -1,0 +1,54 @@
+// Whole-system closed-loop simulator: `nodes` NUMA nodes (paper Fig. 4),
+// each with cores + MAC + 3D-stacked memory, joined by an interconnect.
+// Cores replay per-thread traces and stall on outstanding references; this
+// is the execution-driven counterpart of the streaming driver in src/sim.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/interconnect.hpp"
+#include "arch/node.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace mac3d {
+
+struct SystemRunSummary {
+  Cycle cycles = 0;
+  bool completed = false;       ///< false when max_cycles was hit
+  std::uint64_t requests = 0;   ///< core-issued main-memory references
+  std::uint64_t completions = 0;
+  double avg_latency_cycles = 0.0;
+  StatSet stats;
+};
+
+class System {
+ public:
+  explicit System(const SimConfig& config);
+
+  /// Distribute the trace's threads across nodes and cores round-robin:
+  /// thread t lives on node t % nodes, core (t / nodes) % cores.
+  /// The trace must outlive the system.
+  void attach_trace(const MemoryTrace& trace);
+
+  /// Run until every thread drains (or `max_cycles`).
+  SystemRunSummary run(Cycle max_cycles = 2'000'000'000ULL);
+
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] Interconnect& fabric() noexcept { return *fabric_; }
+
+ private:
+  SimConfig config_;
+  std::vector<NodeId> thread_owner_;
+  std::vector<CoreId> thread_core_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<Interconnect> fabric_;
+};
+
+}  // namespace mac3d

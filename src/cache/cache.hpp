@@ -1,0 +1,107 @@
+// Set-associative LRU cache model — the substrate for the paper's
+// motivation study (Sec. 2.1, Fig. 1). Tag-only (no data storage): it
+// processes address streams and counts hits/misses/evictions, which is all
+// the miss-rate analysis needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace mac3d {
+
+struct CacheConfig {
+  std::string name = "L1";
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 8;
+  bool write_allocate = true;
+
+  [[nodiscard]] std::uint64_t sets() const noexcept {
+    return size_bytes / (static_cast<std::uint64_t>(line_bytes) * ways);
+  }
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+  void collect(StatSet& out, const std::string& prefix) const;
+};
+
+/// One cache level. access() returns true on hit.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Returns true on hit. On a miss the line is filled (with LRU eviction);
+  /// write misses follow the write-allocate policy.
+  bool access(Address addr, bool write);
+
+  /// Probe without modifying state.
+  [[nodiscard]] bool contains(Address addr) const noexcept;
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset();
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< larger == more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::uint64_t set_of(Address addr) const noexcept {
+    return (addr >> line_shift_) & (sets_ - 1);
+  }
+  [[nodiscard]] std::uint64_t tag_of(Address addr) const noexcept {
+    return addr >> (line_shift_ + set_bits_);
+  }
+
+  CacheConfig config_;
+  unsigned line_shift_;
+  unsigned set_bits_;
+  std::uint64_t sets_;
+  std::uint64_t tick_ = 0;
+  std::vector<Line> lines_;  ///< sets_ * ways, set-major
+  CacheStats stats_;
+};
+
+/// Inclusive multi-level hierarchy: access L1, on miss go to L2, etc.
+/// Reports per-level stats; overall miss rate = LLC misses / L1 accesses.
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(std::vector<CacheConfig> levels);
+
+  /// Returns the level that hit (0-based), or levels() for memory.
+  std::uint32_t access(Address addr, bool write);
+
+  [[nodiscard]] std::size_t levels() const noexcept { return caches_.size(); }
+  [[nodiscard]] const Cache& level(std::size_t i) const {
+    return caches_.at(i);
+  }
+  /// Misses that reached main memory / total L1 accesses.
+  [[nodiscard]] double overall_miss_rate() const noexcept;
+  void reset();
+
+ private:
+  std::vector<Cache> caches_;
+  std::uint64_t memory_accesses_ = 0;
+  std::uint64_t total_accesses_ = 0;
+};
+
+}  // namespace mac3d

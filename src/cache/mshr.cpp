@@ -1,0 +1,179 @@
+#include "cache/mshr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitutil.hpp"
+
+namespace mac3d {
+
+MshrCoalescer::MshrCoalescer(const SimConfig& config, HmcDevice& device,
+                             std::uint32_t entries, std::uint32_t block_bytes)
+    : config_(config),
+      device_(device),
+      entries_(entries),
+      block_bytes_(block_bytes) {
+  assert(is_pow2(block_bytes));
+  assert(block_bytes >= kFlitBytes && block_bytes <= config.row_bytes);
+}
+
+bool MshrCoalescer::can_accept() const noexcept {
+  // Conservative: require a free entry (a merging request would not need
+  // one, but the allocation decision must be guaranteed up front), and no
+  // pending barrier.
+  return barrier_pending_ == 0 && file_.size() < entries_;
+}
+
+bool MshrCoalescer::try_accept(const RawRequest& request, Cycle now) {
+  const bool merge_free = merge_port_used_at_ != now;
+  const bool alloc_free = alloc_port_used_at_ != now;
+
+  if (request.op == MemOp::kFence) {
+    if (!alloc_free) return false;
+    fences_.push_back({Target{request.tid, request.tag, 0}, now});
+    ++barrier_pending_;
+    alloc_port_used_at_ = now;
+    return true;
+  }
+  if (barrier_pending_ > 0) return false;  // strict barrier
+
+  const std::uint32_t flit = device_.address_map().flit_of(
+      device_.address_map().local_addr(request.addr));
+  const Target target{request.tid, request.tag,
+                      static_cast<std::uint8_t>(flit)};
+
+  if (request.op == MemOp::kAtomic) {
+    // Atomics bypass the MSHR file's merging entirely.
+    if (!alloc_free || file_.size() >= entries_) return false;
+    Entry entry;
+    entry.block = align_down(request.addr, kFlitBytes);
+    entry.write = true;
+    entry.dispatched = false;
+    entry.targets.push_back(target);
+    entry.accept_cycles.push_back(now);
+    const std::uint64_t key = (1ull << 63) | next_unique_++;
+    file_.emplace(key, std::move(entry));
+    dispatch_queue_.push_back(key);
+    atomic_keys_.insert(key);
+    alloc_port_used_at_ = now;
+    ++stats_.raw_in;
+    return true;
+  }
+
+  const Address block = align_down(request.addr, block_bytes_);
+  const std::uint64_t key = entry_key(block, request.op == MemOp::kStore);
+  const auto it = file_.find(key);
+  if (it != file_.end()) {
+    if (!merge_free) return false;
+    it->second.targets.push_back(target);
+    it->second.accept_cycles.push_back(now);
+    merge_port_used_at_ = now;
+    ++stats_.merged;
+    ++stats_.raw_in;
+    return true;
+  }
+
+  if (!alloc_free || file_.size() >= entries_) {
+    ++stats_.stalls_full;
+    return false;
+  }
+  Entry entry;
+  entry.block = block;
+  entry.write = request.op == MemOp::kStore;
+  entry.targets.push_back(target);
+  entry.accept_cycles.push_back(now);
+  file_.emplace(key, std::move(entry));
+  dispatch_queue_.push_back(key);
+  alloc_port_used_at_ = now;
+  ++stats_.raw_in;
+  return true;
+}
+
+void MshrCoalescer::accept(const RawRequest& request, Cycle now) {
+  const bool accepted = try_accept(request, now);
+  assert(accepted && "MshrCoalescer::accept rejected");
+  (void)accepted;
+}
+
+void MshrCoalescer::tick(Cycle now) {
+  // Retire a pending barrier once everything older has drained.
+  if (barrier_pending_ > 0 && file_.empty() && dispatch_queue_.empty() &&
+      in_flight_.empty()) {
+    const auto [target, accepted] = fences_.front();
+    fences_.pop_front();
+    --barrier_pending_;
+    CompletedAccess done;
+    done.target = target;
+    done.fence = true;
+    done.accepted = accepted;
+    done.completed = now;
+    ready_completions_.push_back(done);
+  }
+
+  // Dispatch one transaction per cycle.
+  if (dispatch_queue_.empty()) return;
+  const std::uint64_t key = dispatch_queue_.front();
+  auto it = file_.find(key);
+  assert(it != file_.end());
+  Entry& entry = it->second;
+
+  HmcRequest request;
+  request.addr = entry.block;
+  const bool is_atomic = atomic_keys_.count(key) != 0;
+  request.data_bytes = is_atomic ? kFlitBytes : block_bytes_;
+  request.write = entry.write;
+  request.atomic = is_atomic;
+  if (!device_.can_accept(request, now)) return;
+  request.id = next_txn_++;
+  in_flight_.emplace(request.id, key);
+  device_.submit(std::move(request), now);
+  entry.dispatched = true;
+  dispatch_queue_.pop_front();
+  ++stats_.packets_out;
+}
+
+std::vector<CompletedAccess> MshrCoalescer::drain(Cycle now) {
+  std::vector<CompletedAccess> out;
+  out.swap(ready_completions_);
+
+  for (const HmcResponse& response : device_.drain(now)) {
+    const auto flight = in_flight_.find(response.id);
+    assert(flight != in_flight_.end());
+    const std::uint64_t key = flight->second;
+    in_flight_.erase(flight);
+    const auto it = file_.find(key);
+    assert(it != file_.end());
+    Entry& entry = it->second;
+    for (std::size_t i = 0; i < entry.targets.size(); ++i) {
+      CompletedAccess done;
+      done.target = entry.targets[i];
+      done.write = entry.write;
+      done.atomic = atomic_keys_.count(key) != 0;
+      done.accepted = entry.accept_cycles[i];
+      done.completed = response.completed;
+      stats_.raw_latency_cycles.add(
+          static_cast<double>(done.completed - done.accepted));
+      out.push_back(done);
+    }
+    atomic_keys_.erase(key);
+    file_.erase(it);
+  }
+  return out;
+}
+
+bool MshrCoalescer::idle() const noexcept {
+  return file_.empty() && dispatch_queue_.empty() && in_flight_.empty() &&
+         ready_completions_.empty() && barrier_pending_ == 0;
+}
+
+Cycle MshrCoalescer::next_event(Cycle now) const noexcept {
+  if (idle()) return 0;
+  if (!ready_completions_.empty() || !dispatch_queue_.empty() ||
+      barrier_pending_ > 0) {
+    return now + 1;
+  }
+  const Cycle completion = device_.next_completion();
+  return completion > now ? completion : now + 1;
+}
+
+}  // namespace mac3d

@@ -1,0 +1,88 @@
+// MSHR-based fixed-granularity coalescer — the conventional Dynamic Memory
+// Coalescing baseline of paper Sec. 2.3: a miss-handling architecture that
+// merges outstanding requests to the same cache-line-sized block, always
+// dispatching fixed 64 B transactions regardless of how many requests merge.
+//
+// Exposes the same cycle-level interface as MacCoalescer so the simulation
+// driver can run either path over identical traces (ablation benches).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mac/coalescer.hpp"  // CompletedAccess
+#include "mem/hmc_device.hpp"
+
+namespace mac3d {
+
+struct MshrStats {
+  std::uint64_t raw_in = 0;
+  std::uint64_t merged = 0;        ///< requests merged into an existing entry
+  std::uint64_t packets_out = 0;   ///< fixed-size transactions dispatched
+  std::uint64_t stalls_full = 0;   ///< cycles an allocation failed
+  RunningStat raw_latency_cycles;
+
+  [[nodiscard]] double coalescing_efficiency() const noexcept {
+    return raw_in == 0 ? 0.0
+                       : 1.0 - static_cast<double>(packets_out) /
+                                   static_cast<double>(raw_in);
+  }
+};
+
+class MshrCoalescer {
+ public:
+  /// `entries`: MSHR file size; `block_bytes`: fixed transaction size.
+  MshrCoalescer(const SimConfig& config, HmcDevice& device,
+                std::uint32_t entries = 32, std::uint32_t block_bytes = 64);
+
+  [[nodiscard]] bool can_accept() const noexcept;
+  /// Dual-ported intake symmetric with MacCoalescer: one merge and one
+  /// allocation per cycle. Returns false when rejected (retry next cycle).
+  [[nodiscard]] bool try_accept(const RawRequest& request, Cycle now);
+  void accept(const RawRequest& request, Cycle now);
+  void tick(Cycle now);
+  std::vector<CompletedAccess> drain(Cycle now);
+  [[nodiscard]] bool idle() const noexcept;
+  [[nodiscard]] Cycle next_event(Cycle now) const noexcept;
+
+  [[nodiscard]] const MshrStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    Address block = 0;
+    bool write = false;
+    bool dispatched = false;
+    std::vector<Target> targets;
+    std::vector<Cycle> accept_cycles;
+  };
+
+  static std::uint64_t entry_key(Address block, bool write) noexcept {
+    return block | (write ? 1ull : 0ull);
+  }
+
+  SimConfig config_;
+  HmcDevice& device_;
+  std::uint32_t entries_;
+  std::uint32_t block_bytes_;
+  std::unordered_map<std::uint64_t, Entry> file_;  ///< key -> live entry
+  std::deque<std::uint64_t> dispatch_queue_;       ///< keys awaiting dispatch
+  std::unordered_map<TransactionId, std::uint64_t> in_flight_;
+  std::unordered_set<std::uint64_t> atomic_keys_;
+  std::deque<std::pair<Target, Cycle>> fences_;
+  std::uint32_t barrier_pending_ = 0;
+  std::uint64_t next_unique_ = 0;
+  Cycle merge_port_used_at_ = ~Cycle{0};
+  Cycle alloc_port_used_at_ = ~Cycle{0};
+  std::vector<CompletedAccess> ready_completions_;
+  TransactionId next_txn_ = 1;
+  MshrStats stats_;
+};
+
+}  // namespace mac3d

@@ -1,0 +1,62 @@
+// Small branch-free bit helpers used by address decoding and the FLIT map.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace mac3d {
+
+/// Extract `count` bits of `value` starting at bit `lsb` (lsb-first).
+[[nodiscard]] constexpr std::uint64_t bits(std::uint64_t value, unsigned lsb,
+                                           unsigned count) noexcept {
+  assert(count >= 1 && count <= 64);
+  assert(lsb < 64);
+  const std::uint64_t mask =
+      count >= 64 ? ~0ULL : ((std::uint64_t{1} << count) - 1);
+  return (value >> lsb) & mask;
+}
+
+/// True iff `value` is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t value) noexcept {
+  return value != 0 && std::has_single_bit(value);
+}
+
+/// log2 of a power of two.
+[[nodiscard]] constexpr unsigned log2_exact(std::uint64_t value) noexcept {
+  assert(is_pow2(value));
+  return static_cast<unsigned>(std::countr_zero(value));
+}
+
+/// Number of set bits.
+[[nodiscard]] constexpr unsigned popcount64(std::uint64_t value) noexcept {
+  return static_cast<unsigned>(std::popcount(value));
+}
+
+/// Index of lowest set bit; undefined for 0.
+[[nodiscard]] constexpr unsigned lowest_bit(std::uint64_t value) noexcept {
+  assert(value != 0);
+  return static_cast<unsigned>(std::countr_zero(value));
+}
+
+/// Index of highest set bit; undefined for 0.
+[[nodiscard]] constexpr unsigned highest_bit(std::uint64_t value) noexcept {
+  assert(value != 0);
+  return 63u - static_cast<unsigned>(std::countl_zero(value));
+}
+
+/// Round `value` up to the next multiple of power-of-two `align`.
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t value,
+                                               std::uint64_t align) noexcept {
+  assert(is_pow2(align));
+  return (value + align - 1) & ~(align - 1);
+}
+
+/// Round `value` down to a multiple of power-of-two `align`.
+[[nodiscard]] constexpr std::uint64_t align_down(std::uint64_t value,
+                                                 std::uint64_t align) noexcept {
+  assert(is_pow2(align));
+  return value & ~(align - 1);
+}
+
+}  // namespace mac3d

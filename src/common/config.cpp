@@ -1,0 +1,264 @@
+#include "common/config.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+
+#include "common/bitutil.hpp"
+
+namespace mac3d {
+namespace {
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t parsed = std::stoull(value, &pos, 0);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw ConfigError("invalid integer for " + key + ": '" + value + "'");
+  }
+}
+
+double parse_f64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw ConfigError("invalid number for " + key + ": '" + value + "'");
+  }
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "1" || value == "true" || value == "on") return true;
+  if (value == "0" || value == "false" || value == "off") return false;
+  throw ConfigError("invalid bool for " + key + ": '" + value + "'");
+}
+
+}  // namespace
+
+std::uint32_t SimConfig::max_targets_per_entry() const noexcept {
+  // Entry layout (Sec. 5.3.3): 64-bit extended address + FLIT map occupy
+  // 8 B + flit-map bytes; the remainder buffers 4.5 B targets.
+  const double map_bytes = flits_per_row() / 8.0;
+  const double avail = static_cast<double>(arq_entry_bytes) - 8.0 - map_bytes;
+  if (avail <= 0) return 1;
+  return static_cast<std::uint32_t>(std::floor(avail / kTargetBytes));
+}
+
+Cycle SimConfig::ns_to_cycles(double ns) const noexcept {
+  return static_cast<Cycle>(std::llround(ns * cpu_ghz));
+}
+
+double SimConfig::cycles_to_ns(Cycle cycles) const noexcept {
+  return static_cast<double>(cycles) / cpu_ghz;
+}
+
+void SimConfig::validate() const {
+  auto require = [](bool ok, const std::string& message) {
+    if (!ok) throw ConfigError(message);
+  };
+  require(cores >= 1 && cores <= 1024, "cores must be in [1, 1024]");
+  require(cpu_ghz > 0, "cpu_ghz must be positive");
+  require(nodes >= 1, "nodes must be >= 1");
+  require(is_pow2(row_bytes) && row_bytes >= 2 * kFlitBytes,
+          "row_bytes must be a power of two >= 32");
+  require(row_bytes <= 4096, "row_bytes must be <= 4096");
+  require(is_pow2(vaults), "vaults must be a power of two");
+  require(is_pow2(banks_per_vault), "banks_per_vault must be a power of two");
+  require(is_pow2(hmc_capacity), "hmc_capacity must be a power of two");
+  require(hmc_capacity >= static_cast<std::uint64_t>(row_bytes) * total_banks(),
+          "hmc_capacity too small for vault/bank/row geometry");
+  require(hmc_links >= 1 && is_pow2(hmc_links),
+          "hmc_links must be a power of two >= 1");
+  require(hmc_links <= vaults, "hmc_links must not exceed vaults");
+  require(arq_entries >= 2, "arq_entries must be >= 2");
+  require(arq_entry_bytes >= 16, "arq_entry_bytes must be >= 16");
+  require(arq_pop_interval >= 1, "arq_pop_interval must be >= 1");
+  require(is_pow2(builder_min_bytes) && builder_min_bytes >= kFlitBytes,
+          "builder_min_bytes must be a power of two >= 16");
+  require(builder_max_bytes == row_bytes,
+          "builder_max_bytes must equal row_bytes (one row per packet)");
+  require(builder_min_bytes <= builder_max_bytes,
+          "builder_min_bytes must be <= builder_max_bytes");
+  require(vault_queue_depth >= 1, "vault_queue_depth must be >= 1");
+  require(link_queue_depth >= 1, "link_queue_depth must be >= 1");
+  require(queue_depth >= 1, "queue_depth must be >= 1");
+  require(t_link_flit >= 1, "t_link_flit must be >= 1");
+  require(t_refi == 0 || t_rfc < t_refi,
+          "t_rfc must be smaller than t_refi (or t_refi 0 to disable)");
+}
+
+void SimConfig::parse_overrides(
+    const std::map<std::string, std::string>& kv) {
+  const std::map<std::string, std::function<void(const std::string&)>>
+      setters = {
+          {"cores", [&](const std::string& v) {
+             cores = static_cast<std::uint32_t>(parse_u64("cores", v));
+           }},
+          {"cpu_ghz", [&](const std::string& v) {
+             cpu_ghz = parse_f64("cpu_ghz", v);
+           }},
+          {"spm_bytes", [&](const std::string& v) {
+             spm_bytes = parse_u64("spm_bytes", v);
+           }},
+          {"spm_latency_ns", [&](const std::string& v) {
+             spm_latency_ns = parse_f64("spm_latency_ns", v);
+           }},
+          {"nodes", [&](const std::string& v) {
+             nodes = static_cast<std::uint32_t>(parse_u64("nodes", v));
+           }},
+          {"hmc_links", [&](const std::string& v) {
+             hmc_links = static_cast<std::uint32_t>(parse_u64("hmc_links", v));
+           }},
+          {"hmc_capacity", [&](const std::string& v) {
+             hmc_capacity = parse_u64("hmc_capacity", v);
+           }},
+          {"row_bytes", [&](const std::string& v) {
+             row_bytes = static_cast<std::uint32_t>(parse_u64("row_bytes", v));
+             builder_max_bytes = row_bytes;
+           }},
+          {"vaults", [&](const std::string& v) {
+             vaults = static_cast<std::uint32_t>(parse_u64("vaults", v));
+           }},
+          {"banks_per_vault", [&](const std::string& v) {
+             banks_per_vault =
+                 static_cast<std::uint32_t>(parse_u64("banks_per_vault", v));
+           }},
+          {"vault_queue_depth", [&](const std::string& v) {
+             vault_queue_depth =
+                 static_cast<std::uint32_t>(parse_u64("vault_queue_depth", v));
+           }},
+          {"link_queue_depth", [&](const std::string& v) {
+             link_queue_depth =
+                 static_cast<std::uint32_t>(parse_u64("link_queue_depth", v));
+           }},
+          {"t_link_flit", [&](const std::string& v) {
+             t_link_flit =
+                 static_cast<std::uint32_t>(parse_u64("t_link_flit", v));
+           }},
+          {"t_serdes", [&](const std::string& v) {
+             t_serdes = static_cast<std::uint32_t>(parse_u64("t_serdes", v));
+           }},
+          {"t_vault_ctrl", [&](const std::string& v) {
+             t_vault_ctrl =
+                 static_cast<std::uint32_t>(parse_u64("t_vault_ctrl", v));
+           }},
+          {"t_bank_access", [&](const std::string& v) {
+             t_bank_access =
+                 static_cast<std::uint32_t>(parse_u64("t_bank_access", v));
+           }},
+          {"t_bank_precharge", [&](const std::string& v) {
+             t_bank_precharge =
+                 static_cast<std::uint32_t>(parse_u64("t_bank_precharge", v));
+           }},
+          {"t_row_data_flit", [&](const std::string& v) {
+             t_row_data_flit =
+                 static_cast<std::uint32_t>(parse_u64("t_row_data_flit", v));
+           }},
+          {"t_refi", [&](const std::string& v) {
+             t_refi = static_cast<std::uint32_t>(parse_u64("t_refi", v));
+           }},
+          {"t_rfc", [&](const std::string& v) {
+             t_rfc = static_cast<std::uint32_t>(parse_u64("t_rfc", v));
+           }},
+          {"open_page", [&](const std::string& v) {
+             open_page = parse_bool("open_page", v);
+           }},
+          {"t_bank_activate", [&](const std::string& v) {
+             t_bank_activate =
+                 static_cast<std::uint32_t>(parse_u64("t_bank_activate", v));
+           }},
+          {"t_bank_cas", [&](const std::string& v) {
+             t_bank_cas =
+                 static_cast<std::uint32_t>(parse_u64("t_bank_cas", v));
+           }},
+          {"arq_entries", [&](const std::string& v) {
+             arq_entries =
+                 static_cast<std::uint32_t>(parse_u64("arq_entries", v));
+           }},
+          {"arq_entry_bytes", [&](const std::string& v) {
+             arq_entry_bytes =
+                 static_cast<std::uint32_t>(parse_u64("arq_entry_bytes", v));
+           }},
+          {"arq_pop_interval", [&](const std::string& v) {
+             arq_pop_interval =
+                 static_cast<std::uint32_t>(parse_u64("arq_pop_interval", v));
+           }},
+          {"builder_min_bytes", [&](const std::string& v) {
+             builder_min_bytes =
+                 static_cast<std::uint32_t>(parse_u64("builder_min_bytes", v));
+           }},
+          {"fill_fast_enabled", [&](const std::string& v) {
+             fill_fast_enabled = parse_bool("fill_fast_enabled", v);
+           }},
+          {"mac_enabled", [&](const std::string& v) {
+             mac_enabled = parse_bool("mac_enabled", v);
+           }},
+          {"remote_hop_cycles", [&](const std::string& v) {
+             remote_hop_cycles =
+                 static_cast<std::uint32_t>(parse_u64("remote_hop_cycles", v));
+           }},
+          {"queue_depth", [&](const std::string& v) {
+             queue_depth =
+                 static_cast<std::uint32_t>(parse_u64("queue_depth", v));
+           }},
+      };
+
+  for (const auto& [key, value] : kv) {
+    const auto it = setters.find(key);
+    if (it == setters.end()) throw ConfigError("unknown config key: " + key);
+    it->second(value);
+  }
+}
+
+void SimConfig::parse_override_string(const std::string& text) {
+  std::map<std::string, std::string> kv;
+  std::string token;
+  std::istringstream stream(text);
+  while (std::getline(stream, token, ',')) {
+    // Also allow whitespace-separated pairs inside a comma token.
+    std::istringstream inner(token);
+    std::string pair;
+    while (inner >> pair) {
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw ConfigError("expected key=value, got '" + pair + "'");
+      }
+      kv[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+  }
+  parse_overrides(kv);
+}
+
+void SimConfig::apply_env() {
+  if (const char* overrides = std::getenv("MAC3D_CONFIG")) {
+    parse_override_string(overrides);
+  }
+}
+
+std::string SimConfig::to_table() const {
+  std::ostringstream out;
+  out << "Parameter                | Value\n"
+      << "-------------------------+---------------------------\n"
+      << "ISA (traced)             | RV64-equivalent native kernels\n"
+      << "Core #                   | " << cores << "\n"
+      << "CPU Frequency            | " << cpu_ghz << " GHz\n"
+      << "SPM                      | " << (spm_bytes >> 20)
+      << " MB per core\n"
+      << "Avg. SPM Access Latency  | " << spm_latency_ns << " ns\n"
+      << "HMC                      | " << hmc_links << " Links, "
+      << (hmc_capacity >> 30) << " GB, " << row_bytes << "B-block\n"
+      << "Vaults x Banks           | " << vaults << " x " << banks_per_vault
+      << " (" << total_banks() << " banks)\n"
+      << "ARQ                      | " << arq_entries << " entries, "
+      << arq_entry_bytes << "B per entry\n"
+      << "Builder packet sizes     | " << builder_min_bytes << "B - "
+      << builder_max_bytes << "B\n";
+  return out.str();
+}
+
+}  // namespace mac3d

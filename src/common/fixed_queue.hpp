@@ -1,0 +1,95 @@
+// Bounded ring-buffer FIFO used for all hardware queues in the model
+// (local/remote/global access queues, vault queues, response buffers).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mac3d {
+
+/// Fixed-capacity FIFO. Capacity is set at construction; push on a full
+/// queue is a programming error (callers must check full() — hardware
+/// queues exert back-pressure instead of dropping).
+template <typename T>
+class FixedQueue {
+ public:
+  explicit FixedQueue(std::size_t capacity)
+      : buffer_(capacity == 0 ? 1 : capacity), capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == capacity_; }
+  [[nodiscard]] std::size_t free_slots() const noexcept {
+    return capacity_ - size_;
+  }
+
+  void push(T value) {
+    assert(!full());
+    buffer_[tail_] = std::move(value);
+    tail_ = advance(tail_);
+    ++size_;
+  }
+
+  /// Push if space is available; returns false (and drops nothing from the
+  /// caller's hands — value is untouched on failure) when full.
+  [[nodiscard]] bool try_push(const T& value) {
+    if (full()) return false;
+    push(value);
+    return true;
+  }
+
+  [[nodiscard]] T& front() {
+    assert(!empty());
+    return buffer_[head_];
+  }
+
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return buffer_[head_];
+  }
+
+  T pop() {
+    assert(!empty());
+    T value = std::move(buffer_[head_]);
+    head_ = advance(head_);
+    --size_;
+    return value;
+  }
+
+  void clear() noexcept {
+    head_ = tail_ = 0;
+    size_ = 0;
+  }
+
+  /// Element i positions from the head (0 == front). For comparator scans.
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < size_);
+    std::size_t idx = head_ + i;
+    if (idx >= buffer_.size()) idx -= buffer_.size();
+    return buffer_[idx];
+  }
+
+  [[nodiscard]] T& at(std::size_t i) {
+    assert(i < size_);
+    std::size_t idx = head_ + i;
+    if (idx >= buffer_.size()) idx -= buffer_.size();
+    return buffer_[idx];
+  }
+
+ private:
+  [[nodiscard]] std::size_t advance(std::size_t idx) const noexcept {
+    ++idx;
+    return idx == buffer_.size() ? 0 : idx;
+  }
+
+  std::vector<T> buffer_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mac3d

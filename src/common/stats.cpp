@@ -1,0 +1,85 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <iomanip>
+#include <sstream>
+
+namespace mac3d {
+
+void RunningStat::add(double sample) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  sum_ += sample;
+  ++count_;
+}
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void Histogram::add(std::uint64_t value) noexcept {
+  const std::size_t bucket =
+      value == 0 ? 0
+                 : std::min<std::size_t>(buckets_.size() - 1,
+                                         64 - std::countl_zero(value));
+  ++buckets_[bucket];
+  ++total_;
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto threshold =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= threshold) {
+      // Upper edge of bucket i covers values < 2^i.
+      return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+    }
+  }
+  return ~0ULL;
+}
+
+double StatSet::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+std::string StatSet::to_string() const {
+  std::size_t width = 0;
+  for (const auto& [name, value] : values_) {
+    width = std::max(width, name.size());
+  }
+  std::ostringstream out;
+  for (const auto& [name, value] : values_) {
+    out << std::left << std::setw(static_cast<int>(width) + 2) << name
+        << std::right << std::fixed << std::setprecision(4) << value << '\n';
+  }
+  return out.str();
+}
+
+std::string StatSet::to_csv() const {
+  std::ostringstream out;
+  out << std::setprecision(10);
+  for (const auto& [name, value] : values_) {
+    out << name << ',' << value << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mac3d

@@ -1,0 +1,76 @@
+// Lightweight statistics: named scalar counters, running means and
+// histograms, plus a flat StatSet used for reporting and CSV export.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mac3d {
+
+/// Running mean/min/max accumulator (no storage of samples).
+class RunningStat {
+ public:
+  void add(double sample) noexcept;
+  void merge(const RunningStat& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Power-of-two bucketed histogram for latency / size distributions.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t buckets = 32) : buckets_(buckets, 0) {}
+
+  void add(std::uint64_t value) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+  /// Approximate p-quantile (q in [0,1]) from bucket boundaries.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Flat name -> value map every component dumps its counters into.
+class StatSet {
+ public:
+  void set(const std::string& name, double value) { values_[name] = value; }
+  void add(const std::string& name, double delta) { values_[name] += delta; }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+  /// Returns 0.0 for missing stats (reporting convenience).
+  [[nodiscard]] double get(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, double>& values() const noexcept {
+    return values_;
+  }
+
+  /// Render as an aligned two-column text table.
+  [[nodiscard]] std::string to_string() const;
+  /// Render as "name,value" CSV lines.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace mac3d

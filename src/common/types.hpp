@@ -1,0 +1,90 @@
+// Core value types shared by every module of the MAC reproduction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mac3d {
+
+/// Physical byte address into the 3D-stacked memory space.
+using Address = std::uint64_t;
+
+/// Simulation time in CPU cycles (3.3 GHz by default, see SimConfig).
+using Cycle = std::uint64_t;
+
+/// Hardware thread identifier (paper: 2 B => up to 64 K threads).
+using ThreadId = std::uint16_t;
+
+/// Per-thread transaction tag (paper: 2 B => up to 64 K transactions/thread).
+using Tag = std::uint16_t;
+
+/// Core index within a node.
+using CoreId = std::uint8_t;
+
+/// Node index within the NUMA system.
+using NodeId = std::uint16_t;
+
+/// Kind of a raw memory operation entering the MAC.
+enum class MemOp : std::uint8_t {
+  kLoad,    ///< read; coalescable (T bit = 0)
+  kStore,   ///< write; coalescable (T bit = 1)
+  kFence,   ///< memory fence; disables ARQ comparators until drained
+  kAtomic,  ///< atomic RMW; bypasses coalescing entirely
+};
+
+[[nodiscard]] constexpr std::string_view to_string(MemOp op) noexcept {
+  switch (op) {
+    case MemOp::kLoad: return "load";
+    case MemOp::kStore: return "store";
+    case MemOp::kFence: return "fence";
+    case MemOp::kAtomic: return "atomic";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_coalescable(MemOp op) noexcept {
+  return op == MemOp::kLoad || op == MemOp::kStore;
+}
+
+/// HMC protocol FLIT (FLow control unIT) size in bytes.
+inline constexpr std::uint32_t kFlitBytes = 16;
+
+/// Header + tail control overhead per *access* (request + response), bytes.
+/// One FLIT of control on the request packet and one on the response.
+inline constexpr std::uint32_t kAccessOverheadBytes = 32;
+
+/// Largest request packet the HMC 2.1 protocol supports.
+inline constexpr std::uint32_t kMaxPacketDataBytes = 256;
+
+/// A raw, uncoalesced memory request as produced by a core / trace.
+///
+/// Raw requests are FLIT-granular: the trace layer splits any access that
+/// straddles a FLIT boundary before it reaches the MAC (Sec. 4.1: the FLIT
+/// offset in bits 0..3 is ignored by the aggregator).
+struct RawRequest {
+  Address addr = 0;          ///< physical byte address
+  MemOp op = MemOp::kLoad;   ///< operation kind
+  std::uint8_t size = 8;     ///< access size in bytes (<= kFlitBytes)
+  ThreadId tid = 0;          ///< originating hardware thread
+  Tag tag = 0;               ///< per-thread transaction tag
+  CoreId core = 0;           ///< originating core
+  NodeId node = 0;           ///< originating node (NUMA)
+
+  friend bool operator==(const RawRequest&, const RawRequest&) = default;
+};
+
+/// Identity of one merged raw request inside a coalesced packet
+/// (paper Sec. 4.1.1: "target" = TID + tag + FLIT id, 4.5 B each).
+struct Target {
+  ThreadId tid = 0;
+  Tag tag = 0;
+  std::uint8_t flit = 0;  ///< FLIT index within the DRAM row
+
+  friend bool operator==(const Target&, const Target&) = default;
+};
+
+/// Paper Sec. 4.1.1: each target occupies 4.5 B of ARQ entry storage.
+inline constexpr double kTargetBytes = 4.5;
+
+}  // namespace mac3d

@@ -1,0 +1,141 @@
+#include "mac/arq.hpp"
+
+#include <cassert>
+
+namespace mac3d {
+
+Arq::Arq(const SimConfig& config, const AddressMap& map)
+    : map_(map),
+      capacity_(config.arq_entries),
+      entry_bytes_(config.arq_entry_bytes),
+      max_targets_(config.max_targets_per_entry()),
+      flits_per_row_(config.flits_per_row()),
+      fill_fast_enabled_(config.fill_fast_enabled) {}
+
+Arq::InsertResult Arq::insert(const RawRequest& request, Cycle now,
+                              bool allow_merge, bool allow_alloc) {
+  if (request.op == MemOp::kFence) {
+    if (!allow_alloc || full()) return InsertResult::kRejected;
+    stats_.occupancy.add(static_cast<double>(entries_.size()));
+    ArqEntry fence;
+    fence.is_fence = true;
+    fence.bypass = true;
+    fence.allocated_at = now;
+    fence.targets.push_back(Target{request.tid, request.tag, 0});
+    entries_.push_back(std::move(fence));
+    ++fence_count_;
+    ++stats_.inserted;
+    ++stats_.fences;
+    ++stats_.allocated;
+    return InsertResult::kAllocated;
+  }
+
+  const Address local = map_.local_addr(request.addr);
+  const std::uint64_t row = map_.row_of(local);
+  const std::uint32_t flit = map_.flit_of(local);
+  const bool is_store = request.op == MemOp::kStore;
+
+  if (request.op == MemOp::kAtomic) {
+    // Atomics are routed to the memory unmodified to preserve atomicity;
+    // they occupy an entry (keeping fence ordering) but never merge.
+    if (!allow_alloc || full()) return InsertResult::kRejected;
+    stats_.occupancy.add(static_cast<double>(entries_.size()));
+    ArqEntry amo;
+    amo.row = row;
+    amo.is_atomic = true;
+    amo.bypass = true;
+    amo.flits = FlitMap(flits_per_row_);
+    amo.flits.set(flit);
+    amo.targets.push_back(
+        Target{request.tid, request.tag, static_cast<std::uint8_t>(flit)});
+    amo.allocated_at = now;
+    amo.raw_size = request.size;
+    amo.home_node = map_.node_of(request.addr);
+    entries_.push_back(std::move(amo));
+    ++stats_.inserted;
+    ++stats_.atomics;
+    ++stats_.allocated;
+    return InsertResult::kAllocated;
+  }
+
+  assert(is_coalescable(request.op));
+
+  // Fill-fast latency hiding (Sec. 4.1): when the free-entry counter
+  // *rises above* half the ARQ size (edge-triggered — e.g. at boot or
+  // after an I/O-bound lull drains the queue), the next N incoming
+  // requests skip the comparators and fill the available entries
+  // directly, so aggregation restarts from a well-stocked queue.
+  const std::size_t free_entries = capacity_ - entries_.size();
+  const bool above_half = free_entries > capacity_ / 2;
+  if (fill_fast_enabled_ && above_half && !was_above_half_ &&
+      fill_fast_remaining_ == 0) {
+    fill_fast_remaining_ = static_cast<std::uint32_t>(free_entries);
+  }
+  was_above_half_ = above_half;
+
+  bool compare = allow_merge && fence_count_ == 0;
+  const bool fill_fast_hit = fill_fast_remaining_ > 0;
+  if (fill_fast_hit) compare = false;
+
+  if (compare) {
+    // All comparators fire simultaneously on (row | T) — a single compare
+    // thanks to the T-bit address extension (Sec. 4.1.2).
+    for (ArqEntry& entry : entries_) {
+      if (entry.is_fence || entry.is_atomic || entry.row != row ||
+          entry.is_store != is_store) {
+        continue;
+      }
+      if (entry.targets.size() >= max_targets_) {
+        ++stats_.merge_refused_capacity;
+        continue;  // entry target storage exhausted; fall through
+      }
+      stats_.occupancy.add(static_cast<double>(entries_.size()));
+      entry.flits.set(flit);
+      entry.targets.push_back(
+          Target{request.tid, request.tag, static_cast<std::uint8_t>(flit)});
+      entry.bypass = false;  // >= 2 requests: B bit cleared
+      ++stats_.inserted;
+      ++stats_.merged;
+      return InsertResult::kMerged;
+    }
+  }
+
+  if (!allow_alloc || full()) return InsertResult::kRejected;
+  if (fill_fast_hit) {
+    --fill_fast_remaining_;
+    ++stats_.fill_fast_inserts;
+  }
+  stats_.occupancy.add(static_cast<double>(entries_.size()));
+  ArqEntry entry;
+  entry.row = row;
+  entry.is_store = is_store;
+  entry.bypass = true;  // single request so far
+  entry.flits = FlitMap(flits_per_row_);
+  entry.flits.set(flit);
+  entry.targets.push_back(
+      Target{request.tid, request.tag, static_cast<std::uint8_t>(flit)});
+  entry.allocated_at = now;
+  entry.raw_size = request.size;
+  entry.home_node = map_.node_of(request.addr);
+  entries_.push_back(std::move(entry));
+  ++stats_.inserted;
+  ++stats_.allocated;
+  return InsertResult::kAllocated;
+}
+
+ArqEntry Arq::pop() {
+  assert(!entries_.empty());
+  ArqEntry entry = std::move(entries_.front());
+  entries_.pop_front();
+  if (entry.is_fence) {
+    assert(fence_count_ > 0);
+    --fence_count_;
+  } else {
+    stats_.targets_per_entry.add(static_cast<double>(entry.targets.size()));
+    stats_.popped_bypass += entry.bypass ? 1 : 0;
+  }
+  ++stats_.popped;
+  return entry;
+}
+
+}  // namespace mac3d

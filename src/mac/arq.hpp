@@ -1,0 +1,134 @@
+// Aggregated Request Queue — the Raw Request Aggregator of Sec. 4.1.
+//
+// A FIFO of entries, each with a hardware comparator on the extended
+// address (row number | T-bit, Fig. 5). An incoming raw request is compared
+// against every pending entry simultaneously; a hit merges it (setting its
+// FLIT-map bit and appending its target), a miss allocates a new entry.
+//
+// Also implemented here:
+//  * memory fences: a fence entry disables the comparators until it is
+//    popped (Sec. 4.1);
+//  * B (bypass) bit: an entry holding a single request is forwarded
+//    directly to the memory, skipping the Request Builder (Sec. 4.1.2);
+//  * T (type) bit: loads and stores never merge (Sec. 4.1.2);
+//  * fill-fast latency hiding: when more than half of the entries are
+//    free, the next N raw requests skip the comparators (Sec. 4.1);
+//  * target-capacity limit: an entry stores at most
+//    (entry_bytes - addr/map bytes) / 4.5 targets (Sec. 5.3.3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mac/flit_map.hpp"
+#include "mem/address_map.hpp"
+
+namespace mac3d {
+
+/// One ARQ entry.
+struct ArqEntry {
+  std::uint64_t row = 0;       ///< DRAM row number (node-local)
+  bool is_store = false;       ///< T bit
+  bool is_fence = false;
+  bool is_atomic = false;      ///< atomics are never coalesced (Sec. 4.1.2)
+  bool bypass = true;          ///< B bit (single request in this row)
+  FlitMap flits;               ///< requested FLITs of the row
+  std::vector<Target> targets;
+  Cycle allocated_at = 0;
+  std::uint8_t raw_size = 0;   ///< original access size (bypass path)
+  NodeId home_node = 0;
+
+  [[nodiscard]] std::size_t target_count() const noexcept {
+    return targets.size();
+  }
+};
+
+/// ARQ occupancy / merge statistics.
+struct ArqStats {
+  std::uint64_t inserted = 0;        ///< raw requests accepted
+  std::uint64_t merged = 0;          ///< raw requests merged into an entry
+  std::uint64_t allocated = 0;       ///< entries newly allocated
+  std::uint64_t fences = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t popped = 0;          ///< entries popped
+  std::uint64_t popped_bypass = 0;   ///< entries popped with B bit set
+  std::uint64_t fill_fast_inserts = 0;
+  std::uint64_t merge_refused_capacity = 0;  ///< target space exhausted
+  RunningStat targets_per_entry;     ///< recorded at pop (Fig. 15)
+  RunningStat occupancy;             ///< entries in use, sampled per insert
+};
+
+class Arq {
+ public:
+  Arq(const SimConfig& config, const AddressMap& map);
+
+  [[nodiscard]] bool full() const noexcept {
+    return entries_.size() >= capacity_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Outcome of presenting a raw request to the queue.
+  enum class InsertResult {
+    kMerged,     ///< absorbed into an existing entry (merge port)
+    kAllocated,  ///< new entry allocated (allocation port)
+    kRejected,   ///< needs an allocation but no slot / port available
+  };
+
+  /// Present one raw request. The ARQ is dual-ported per cycle: the
+  /// coalescer passes `allow_merge` / `allow_alloc` according to which
+  /// port is still free this cycle. Merging does not need a free slot;
+  /// allocation needs one.
+  [[nodiscard]] InsertResult insert(const RawRequest& request, Cycle now,
+                                    bool allow_merge = true,
+                                    bool allow_alloc = true);
+
+  /// Entry at the head, if any.
+  [[nodiscard]] const ArqEntry& front() const { return entries_.front(); }
+
+  /// Entry `i` positions behind the head (inspection / tests).
+  [[nodiscard]] const ArqEntry& at(std::size_t i) const {
+    return entries_.at(i);
+  }
+
+  /// Pop the head entry (cadence enforced by the coalescer).
+  ArqEntry pop();
+
+  /// True while a fence is pending anywhere in the queue (comparators off).
+  [[nodiscard]] bool fence_pending() const noexcept {
+    return fence_count_ > 0;
+  }
+
+  [[nodiscard]] const ArqStats& stats() const noexcept { return stats_; }
+
+  /// Hardware storage of the queue in bytes (Fig. 16): entries * entry size.
+  [[nodiscard]] std::uint64_t storage_bytes() const noexcept {
+    return static_cast<std::uint64_t>(capacity_) * entry_bytes_;
+  }
+  [[nodiscard]] std::uint32_t comparators() const noexcept {
+    return static_cast<std::uint32_t>(capacity_);
+  }
+  [[nodiscard]] std::uint32_t max_targets_per_entry() const noexcept {
+    return max_targets_;
+  }
+
+ private:
+  const AddressMap& map_;
+  std::size_t capacity_;
+  std::uint32_t entry_bytes_;
+  std::uint32_t max_targets_;
+  std::uint32_t flits_per_row_;
+  bool fill_fast_enabled_;
+  bool was_above_half_ = false;  ///< edge detector for the fill-fast trigger
+  std::uint32_t fill_fast_remaining_ = 0;
+  std::uint32_t fence_count_ = 0;
+  std::deque<ArqEntry> entries_;
+  ArqStats stats_;
+};
+
+}  // namespace mac3d

@@ -1,0 +1,221 @@
+#include "mac/coalescer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mac3d {
+
+void MacStats::collect(StatSet& out, const std::string& prefix) const {
+  out.set(prefix + ".raw_in", static_cast<double>(raw_in));
+  out.set(prefix + ".fences_in", static_cast<double>(fences_in));
+  out.set(prefix + ".packets_out", static_cast<double>(packets_out));
+  out.set(prefix + ".built_out", static_cast<double>(built_out));
+  out.set(prefix + ".bypass_out", static_cast<double>(bypass_out));
+  out.set(prefix + ".atomic_out", static_cast<double>(atomic_out));
+  out.set(prefix + ".completions", static_cast<double>(completions));
+  out.set(prefix + ".coalescing_efficiency", coalescing_efficiency());
+  out.set(prefix + ".avg_raw_latency_cycles", raw_latency_cycles.mean());
+  for (const auto& [size, count] : packets_by_size) {
+    out.set(prefix + ".packets_" + std::to_string(size) + "B",
+            static_cast<double>(count));
+  }
+}
+
+MacCoalescer::MacCoalescer(const SimConfig& config, HmcDevice& device)
+    : config_(config),
+      device_(device),
+      arq_(config, device.address_map()),
+      builder_(config, device.address_map()) {
+  config_.validate();
+}
+
+bool MacCoalescer::try_accept(const RawRequest& request, Cycle now) {
+  const bool merge_free = merge_port_used_at_ != now;
+  const bool alloc_free = alloc_port_used_at_ != now;
+  if (!merge_free && !alloc_free) return false;
+
+  const Arq::InsertResult result =
+      arq_.insert(request, now, merge_free, alloc_free);
+  switch (result) {
+    case Arq::InsertResult::kMerged:
+      merge_port_used_at_ = now;
+      break;
+    case Arq::InsertResult::kAllocated:
+      alloc_port_used_at_ = now;
+      break;
+    case Arq::InsertResult::kRejected:
+      return false;
+  }
+
+  if (request.op == MemOp::kFence) {
+    ++stats_.fences_in;
+  } else {
+    ++stats_.raw_in;
+  }
+  accept_cycle_[key(Target{request.tid, request.tag, 0})] = now;
+  return true;
+}
+
+void MacCoalescer::accept(const RawRequest& request, Cycle now) {
+  const bool accepted = try_accept(request, now);
+  assert(accepted && "MacCoalescer::accept: intake rejected the request");
+  (void)accepted;
+}
+
+void MacCoalescer::pop_stage(Cycle now) {
+  if (arq_.empty()) return;
+
+  const ArqEntry& head = arq_.front();
+  // Only entries destined for the Request Builder are bound to its 2-cycle
+  // initiation interval (Sec. 4.4). B-bit bypass, atomic and fence entries
+  // skip the builder ("bypassing other stages of the MAC", Sec. 4.1.2) and
+  // may pop every cycle.
+  const bool needs_builder = !head.is_fence && !head.is_atomic && !head.bypass;
+  if (needs_builder && now < next_pop_at_) return;
+
+  // An entry written this cycle cannot be read out the same cycle.
+  if (head.allocated_at >= now && !head.is_fence) return;
+
+  if (head.is_fence) {
+    // A fence retires only once every earlier memory operation has fully
+    // completed (Sec. 4.1): builder and issue queue drained, nothing in
+    // flight in the device.
+    if (builder_.empty() && issue_queue_.empty() && outstanding_ == 0) {
+      ArqEntry fence = arq_.pop();
+      CompletedAccess done;
+      done.target = fence.targets.front();
+      done.fence = true;
+      const auto it = accept_cycle_.find(key(done.target));
+      done.accepted = it != accept_cycle_.end() ? it->second : now;
+      if (it != accept_cycle_.end()) accept_cycle_.erase(it);
+      done.completed = now;
+      ready_completions_.push_back(done);
+    }
+    return;
+  }
+
+  if (head.bypass || head.is_atomic) {
+    // B-bit / atomic entries skip the Request Builder and go straight to
+    // the memory as single-FLIT raw transactions (Sec. 4.1.2).
+    ArqEntry entry = arq_.pop();
+    IssueItem item;
+    item.request.addr = device_.address_map().row_base(entry.row) +
+                        static_cast<Address>(entry.flits.first_set()) *
+                            kFlitBytes;
+    item.request.data_bytes = kFlitBytes;
+    item.request.write = entry.is_store;
+    item.request.atomic = entry.is_atomic;
+    item.request.home_node = entry.home_node;
+    item.request.targets = std::move(entry.targets);
+    item.ready_at = now + 1;
+    item.atomic = entry.is_atomic;
+    item.bypass = !entry.is_atomic;
+    issue_queue_.push_back(std::move(item));
+    return;
+  }
+
+  if (builder_.can_accept(now)) {
+    builder_.accept(arq_.pop(), now);
+    next_pop_at_ = now + config_.arq_pop_interval;
+  }
+}
+
+void MacCoalescer::issue_stage(Cycle now) {
+  // Move finished builder packets into the issue queue in build order.
+  while (builder_.has_output(now)) {
+    IssueItem item;
+    item.request = builder_.pop_output(now);
+    item.ready_at = now;
+    issue_queue_.push_back(std::move(item));
+  }
+
+  // Dispatch at most one packet per cycle, subject to link back-pressure.
+  if (issue_queue_.empty()) return;
+  IssueItem& head = issue_queue_.front();
+  if (head.ready_at > now || !device_.can_accept(head.request, now)) return;
+
+  head.request.id = next_txn_++;
+  const std::uint32_t size = head.request.data_bytes;
+  device_.submit(std::move(head.request), now);
+  ++outstanding_;
+  ++stats_.packets_out;
+  ++stats_.packets_by_size[size];
+  if (head.atomic) {
+    ++stats_.atomic_out;
+  } else if (head.bypass) {
+    ++stats_.bypass_out;
+  } else {
+    ++stats_.built_out;
+  }
+  issue_queue_.pop_front();
+}
+
+void MacCoalescer::tick(Cycle now) {
+  assert(now >= last_tick_);
+  last_tick_ = now;
+  pop_stage(now);
+  issue_stage(now);
+}
+
+std::vector<CompletedAccess> MacCoalescer::drain(Cycle now) {
+  std::vector<CompletedAccess> out;
+  // Fence retirements (and any buffered completions) first.
+  out.swap(ready_completions_);
+
+  for (HmcResponse& response : device_.drain(now)) {
+    assert(outstanding_ > 0);
+    --outstanding_;
+    for (const Target& target : response.targets) {
+      CompletedAccess done;
+      done.target = target;
+      done.write = response.write;
+      done.completed = response.completed;
+      const auto it = accept_cycle_.find(key(target));
+      done.accepted = it != accept_cycle_.end() ? it->second : response.completed;
+      if (it != accept_cycle_.end()) accept_cycle_.erase(it);
+      stats_.raw_latency_cycles.add(
+          static_cast<double>(done.completed - done.accepted));
+      out.push_back(done);
+    }
+  }
+  stats_.completions += out.size();
+  return out;
+}
+
+bool MacCoalescer::idle() const noexcept {
+  return arq_.empty() && builder_.empty() && issue_queue_.empty() &&
+         outstanding_ == 0 && ready_completions_.empty();
+}
+
+Cycle MacCoalescer::next_event(Cycle now) const noexcept {
+  if (idle()) return 0;
+  // Immediate work?
+  if (!ready_completions_.empty()) return now;
+  Cycle next = ~Cycle{0};
+  if (!arq_.empty()) {
+    const ArqEntry& head = arq_.front();
+    if (head.is_fence && !(builder_.empty() && issue_queue_.empty() &&
+                           outstanding_ == 0)) {
+      // Fence blocked on the device; wake at the next completion.
+      if (device_.next_completion() != 0) {
+        next = std::min(next, std::max(now + 1, device_.next_completion()));
+      }
+    } else if (head.is_fence || head.is_atomic || head.bypass) {
+      next = std::min(next, now + 1);  // bypass pops are not builder-gated
+    } else {
+      next = std::min(next, std::max(now + 1, next_pop_at_));
+    }
+  }
+  if (!builder_.empty()) {
+    next = std::min(next, std::max(now + 1, builder_.next_output_at()));
+  }
+  if (!issue_queue_.empty()) {
+    next = std::min(next, std::max(now + 1, issue_queue_.front().ready_at));
+  }
+  if (outstanding_ > 0 && device_.next_completion() != 0) {
+    next = std::min(next, std::max(now + 1, device_.next_completion()));
+  }
+  return next == ~Cycle{0} ? now + 1 : next;
+}
+
+}  // namespace mac3d

@@ -1,0 +1,138 @@
+// MAC top level: ties the Raw Request Aggregator (ARQ) and the pipelined
+// Request Builder together and drives the 3D-stacked memory device
+// (paper Fig. 4, right side).
+//
+// Cycle behaviour (Sec. 4.4):
+//  * at most one raw request enters the ARQ per cycle (caller-enforced);
+//  * one entry pops from the ARQ every `arq_pop_interval` (2) cycles;
+//  * bypass (B-bit), atomic and fence entries skip the Request Builder;
+//  * built / bypassed packets issue to the device, at most one per cycle,
+//    subject to link back-pressure;
+//  * responses are de-coalesced into one completion per merged target.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mac/arq.hpp"
+#include "mac/request_builder.hpp"
+#include "mem/hmc_device.hpp"
+
+namespace mac3d {
+
+/// One raw request's completion, de-coalesced from a packet response
+/// (or a retired fence).
+struct CompletedAccess {
+  Target target;
+  bool write = false;
+  bool fence = false;
+  bool atomic = false;
+  Cycle accepted = 0;   ///< cycle the raw request entered the MAC
+  Cycle completed = 0;  ///< cycle its data/ack became available
+};
+
+struct MacStats {
+  std::uint64_t raw_in = 0;      ///< loads + stores + atomics accepted
+  std::uint64_t fences_in = 0;
+  std::uint64_t packets_out = 0; ///< total HMC transactions dispatched
+  std::uint64_t built_out = 0;   ///< via the Request Builder
+  std::uint64_t bypass_out = 0;  ///< B-bit single-FLIT requests
+  std::uint64_t atomic_out = 0;
+  std::uint64_t completions = 0;
+  std::map<std::uint32_t, std::uint64_t> packets_by_size;
+  RunningStat raw_latency_cycles;  ///< per raw request, accept -> complete
+
+  /// Request-reduction ratio (paper Eq. 3 as used in Sec. 5.3.1):
+  /// 1 - (requests with MAC / raw requests without MAC).
+  [[nodiscard]] double coalescing_efficiency() const noexcept {
+    return raw_in == 0 ? 0.0
+                       : 1.0 - static_cast<double>(packets_out) /
+                                   static_cast<double>(raw_in);
+  }
+
+  void collect(StatSet& out, const std::string& prefix) const;
+};
+
+class MacCoalescer {
+ public:
+  MacCoalescer(const SimConfig& config, HmcDevice& device);
+
+  /// Space for one more raw request this cycle? (Conservative: a merge
+  /// may still succeed when the queue is full — use try_accept.)
+  [[nodiscard]] bool can_accept() const noexcept { return !arq_.full(); }
+
+  /// Present one raw request to the MAC. The ARQ intake is dual-ported:
+  /// per cycle it can absorb one *merging* request (updating an existing
+  /// entry's FLIT map and target list) and one *allocating* request (a new
+  /// entry). Returns false when the required port (or a free entry) is not
+  /// available this cycle — the request router must retry next cycle.
+  /// The caller keeps (tid, tag) unique among in-flight requests.
+  [[nodiscard]] bool try_accept(const RawRequest& request, Cycle now);
+
+  /// try_accept that must succeed (tests, simple feeders).
+  void accept(const RawRequest& request, Cycle now);
+
+  /// Advance all MAC stages for cycle `now`. Must be called with
+  /// non-decreasing `now`; cycles may be skipped when nothing is pending.
+  void tick(Cycle now);
+
+  /// Completions (de-coalesced raw requests and retired fences) available
+  /// at or before `now`.
+  std::vector<CompletedAccess> drain(Cycle now);
+
+  /// True when no work is buffered anywhere in the MAC or the device.
+  [[nodiscard]] bool idle() const noexcept;
+
+  /// Earliest future cycle at which tick/drain could make progress;
+  /// returns `now + 1` when work is immediately pending, 0 when idle.
+  [[nodiscard]] Cycle next_event(Cycle now) const noexcept;
+
+  [[nodiscard]] const MacStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Arq& arq() const noexcept { return arq_; }
+  [[nodiscard]] const RequestBuilder& builder() const noexcept {
+    return builder_;
+  }
+
+  /// Total MAC storage (Sec. 5.3.3): ARQ entries + FLIT map + FLIT table.
+  [[nodiscard]] std::uint64_t storage_bytes() const noexcept {
+    return arq_.storage_bytes() + builder_.storage_bytes();
+  }
+
+ private:
+  struct IssueItem {
+    HmcRequest request;
+    Cycle ready_at = 0;
+    bool atomic = false;
+    bool bypass = false;
+  };
+
+  static std::uint32_t key(const Target& target) noexcept {
+    return (static_cast<std::uint32_t>(target.tid) << 16) | target.tag;
+  }
+
+  void pop_stage(Cycle now);
+  void issue_stage(Cycle now);
+
+  SimConfig config_;
+  HmcDevice& device_;
+  Arq arq_;
+  RequestBuilder builder_;
+  std::deque<IssueItem> issue_queue_;
+  std::vector<CompletedAccess> ready_completions_;
+  std::unordered_map<std::uint32_t, Cycle> accept_cycle_;
+  Cycle next_pop_at_ = 0;
+  Cycle last_tick_ = 0;
+  Cycle merge_port_used_at_ = ~Cycle{0};  ///< dual-port intake bookkeeping
+  Cycle alloc_port_used_at_ = ~Cycle{0};
+  std::uint64_t outstanding_ = 0;
+  TransactionId next_txn_ = 1;
+  MacStats stats_;
+};
+
+}  // namespace mac3d

@@ -1,0 +1,71 @@
+// FLIT map (paper Sec. 4.1.1, Fig. 6): one bit per FLIT of a DRAM row,
+// recording which FLITs have been requested by the raw requests merged
+// into an ARQ entry. Generalized to rows of up to 64 FLITs (1 KB, the HBM
+// case of Sec. 4.3); the paper's HMC configuration uses 16 bits.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/bitutil.hpp"
+
+namespace mac3d {
+
+class FlitMap {
+ public:
+  FlitMap() = default;
+  explicit FlitMap(std::uint32_t num_flits) : num_flits_(num_flits) {
+    assert(num_flits >= 1 && num_flits <= 64);
+  }
+
+  void set(std::uint32_t flit) noexcept {
+    assert(flit < num_flits_);
+    bits_ |= std::uint64_t{1} << flit;
+  }
+
+  [[nodiscard]] bool test(std::uint32_t flit) const noexcept {
+    assert(flit < num_flits_);
+    return (bits_ >> flit) & 1u;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return bits_ == 0; }
+  [[nodiscard]] unsigned count() const noexcept { return popcount64(bits_); }
+  [[nodiscard]] std::uint64_t raw() const noexcept { return bits_; }
+  [[nodiscard]] std::uint32_t size() const noexcept { return num_flits_; }
+
+  [[nodiscard]] std::uint32_t first_set() const noexcept {
+    assert(!empty());
+    return lowest_bit(bits_);
+  }
+  [[nodiscard]] std::uint32_t last_set() const noexcept {
+    assert(!empty());
+    return highest_bit(bits_);
+  }
+
+  /// Stage-1 of the Request Builder (Fig. 8): partition the map into
+  /// `groups` equal chunks and OR each chunk down to one bit.
+  /// Returns the group pattern, bit g set iff group g has any active FLIT.
+  [[nodiscard]] std::uint32_t group_pattern(
+      std::uint32_t groups) const noexcept {
+    assert(groups >= 1 && groups <= num_flits_);
+    assert(num_flits_ % groups == 0);
+    const std::uint32_t per_group = num_flits_ / groups;
+    const std::uint64_t group_mask =
+        per_group >= 64 ? ~0ULL : (std::uint64_t{1} << per_group) - 1;
+    std::uint32_t pattern = 0;
+    for (std::uint32_t g = 0; g < groups; ++g) {
+      if ((bits_ >> (g * per_group)) & group_mask) pattern |= 1u << g;
+    }
+    return pattern;
+  }
+
+  void clear() noexcept { bits_ = 0; }
+
+  friend bool operator==(const FlitMap&, const FlitMap&) = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+  std::uint32_t num_flits_ = 16;
+};
+
+}  // namespace mac3d

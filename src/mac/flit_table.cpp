@@ -1,0 +1,60 @@
+#include "mac/flit_table.hpp"
+
+#include <stdexcept>
+
+#include "common/bitutil.hpp"
+
+namespace mac3d {
+
+FlitTable::FlitTable(std::uint32_t row_bytes, std::uint32_t min_bytes)
+    : row_bytes_(row_bytes), min_bytes_(min_bytes) {
+  if (!is_pow2(row_bytes) || !is_pow2(min_bytes) || min_bytes > row_bytes) {
+    throw std::invalid_argument("FlitTable: bad geometry");
+  }
+  groups_ = row_bytes / min_bytes;
+  if (groups_ > 16) {
+    throw std::invalid_argument(
+        "FlitTable: more than 16 groups; enlarge builder_min_bytes");
+  }
+  table_.resize(std::size_t{1} << groups_);
+  for (std::uint32_t pattern = 1; pattern < table_.size(); ++pattern) {
+    table_[pattern] = compute(pattern);
+  }
+}
+
+PacketShape FlitTable::compute(std::uint32_t pattern) const {
+  const std::uint32_t first = lowest_bit(pattern);
+  const std::uint32_t last = highest_bit(pattern);
+  const std::uint32_t span_groups = last - first + 1;
+
+  // Smallest power-of-two group count covering the span.
+  std::uint32_t size_groups = 1;
+  while (size_groups < span_groups) size_groups <<= 1;
+
+  PacketShape shape;
+  shape.size_bytes = size_groups * min_bytes_;
+  shape.offset_bytes = first * min_bytes_;
+  // Keep the packet inside the row.
+  if (shape.offset_bytes + shape.size_bytes > row_bytes_) {
+    shape.offset_bytes = row_bytes_ - shape.size_bytes;
+  }
+  return shape;
+}
+
+PacketShape FlitTable::lookup(std::uint32_t pattern) const {
+  if (pattern == 0 || pattern >= table_.size()) {
+    throw std::out_of_range("FlitTable: pattern out of range");
+  }
+  return table_[pattern];
+}
+
+std::uint32_t FlitTable::storage_bytes() const noexcept {
+  // Per entry: a size field (1 + log2(groups) bits, encoding group counts
+  // 1..groups) and a start-group field of the same width. For the paper's
+  // 16-entry table this gives 16 * 6 bits = 12 B, matching Sec. 4.2.1.
+  const std::uint32_t field_bits = log2_exact(groups_) + 1;
+  const std::uint32_t total_bits = entries() * 2 * field_bits;
+  return (total_bits + 7) / 8;
+}
+
+}  // namespace mac3d

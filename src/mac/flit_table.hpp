@@ -1,0 +1,56 @@
+// FLIT table (paper Sec. 4.2.1, Fig. 8): a small look-up table mapping the
+// stage-1 group pattern to the size (and start offset) of the coalesced
+// request transaction. With 256 B rows and a 64 B minimum granularity the
+// table has 16 entries (one per 4-bit pattern) and sizes 64/128/256 B.
+//
+// Sizing rule (reproduces the paper's example — FLITs {6, 8, 9} => pattern
+// 0110 => 128 B): the packet must cover the span from the first to the last
+// active group; the size is the smallest allowed power-of-two multiple of
+// the 64 B granularity that covers that span, and the offset is the first
+// active group's offset (clamped so the packet stays inside the row).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace mac3d {
+
+/// One decoded FLIT-table entry.
+struct PacketShape {
+  std::uint32_t size_bytes = 0;    ///< coalesced transaction size
+  std::uint32_t offset_bytes = 0;  ///< start offset within the DRAM row
+
+  friend bool operator==(const PacketShape&, const PacketShape&) = default;
+};
+
+class FlitTable {
+ public:
+  /// Build the table for a given row size / minimum packet granularity.
+  FlitTable(std::uint32_t row_bytes, std::uint32_t min_bytes);
+
+  explicit FlitTable(const SimConfig& config)
+      : FlitTable(config.row_bytes, config.builder_min_bytes) {}
+
+  /// Look up a (nonzero) group pattern.
+  [[nodiscard]] PacketShape lookup(std::uint32_t pattern) const;
+
+  [[nodiscard]] std::uint32_t groups() const noexcept { return groups_; }
+  [[nodiscard]] std::uint32_t entries() const noexcept {
+    return static_cast<std::uint32_t>(table_.size());
+  }
+  /// Hardware storage of the LUT in bytes (paper: 12 B for 16 entries —
+  /// 6 bits per entry: 2 size bits + 4 offset bits, rounded up).
+  [[nodiscard]] std::uint32_t storage_bytes() const noexcept;
+
+ private:
+  [[nodiscard]] PacketShape compute(std::uint32_t pattern) const;
+
+  std::uint32_t row_bytes_;
+  std::uint32_t min_bytes_;
+  std::uint32_t groups_;
+  std::vector<PacketShape> table_;  ///< precomputed for all 2^groups patterns
+};
+
+}  // namespace mac3d

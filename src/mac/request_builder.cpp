@@ -1,0 +1,47 @@
+#include "mac/request_builder.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mac3d {
+
+RequestBuilder::RequestBuilder(const SimConfig& config, const AddressMap& map)
+    : map_(map),
+      table_(config),
+      groups_(config.builder_groups()),
+      flits_per_row_(config.flits_per_row()) {}
+
+void RequestBuilder::accept(ArqEntry entry, Cycle now) {
+  assert(can_accept(now));
+  assert(!entry.is_fence && !entry.is_atomic);
+  assert(!entry.flits.empty());
+
+  const std::uint32_t pattern = entry.flits.group_pattern(groups_);
+  const PacketShape shape = table_.lookup(pattern);
+
+  HmcRequest request;
+  request.addr = map_.row_base(entry.row) + shape.offset_bytes;
+  request.data_bytes = shape.size_bytes;
+  request.write = entry.is_store;
+  request.home_node = entry.home_node;
+  request.targets = std::move(entry.targets);
+
+  Built built;
+  built.request = std::move(request);
+  built.ready_at = now + kStage1Cycles + kStage2Cycles;
+  out_.push_back(std::move(built));
+
+  next_accept_at_ = now + kInitiationInterval;
+  ++stats_.accepted;
+  ++stats_.built;
+  ++stats_.packets_by_size[shape.size_bytes];
+}
+
+HmcRequest RequestBuilder::pop_output([[maybe_unused]] Cycle now) {
+  assert(has_output(now));
+  HmcRequest request = std::move(out_.front().request);
+  out_.pop_front();
+  return request;
+}
+
+}  // namespace mac3d

@@ -1,0 +1,82 @@
+// Two-stage pipelined Request Builder (paper Sec. 4.2, Fig. 8).
+//
+// Stage 1 (1 cycle): OR-reduce the entry's FLIT map into the group pattern
+// (4 bits for 256 B rows / 64 B granularity).
+// Stage 2 (2 cycles): FLIT-table look-up + packet assembly.
+//
+// The pipeline's initiation interval is 2 cycles, fixing the MAC issue
+// rate at 0.5 requests/cycle (Sec. 4.4); total build latency is 3 cycles.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "mac/arq.hpp"
+#include "mac/flit_table.hpp"
+#include "mem/address_map.hpp"
+#include "mem/packet.hpp"
+
+namespace mac3d {
+
+struct BuilderStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t built = 0;
+  std::map<std::uint32_t, std::uint64_t> packets_by_size;  ///< size -> count
+};
+
+class RequestBuilder {
+ public:
+  RequestBuilder(const SimConfig& config, const AddressMap& map);
+
+  /// Pipeline initiation: a new entry may enter every 2 cycles.
+  [[nodiscard]] bool can_accept(Cycle now) const noexcept {
+    return now >= next_accept_at_;
+  }
+
+  /// Accept a (non-fence, non-bypass) ARQ entry popped at `now`.
+  void accept(ArqEntry entry, Cycle now);
+
+  /// True when a finished packet is available at `now`.
+  [[nodiscard]] bool has_output(Cycle now) const noexcept {
+    return !out_.empty() && out_.front().ready_at <= now;
+  }
+
+  /// Pop the oldest finished packet.
+  HmcRequest pop_output(Cycle now);
+
+  [[nodiscard]] bool empty() const noexcept { return out_.empty(); }
+  [[nodiscard]] Cycle next_output_at() const noexcept {
+    return out_.empty() ? 0 : out_.front().ready_at;
+  }
+
+  [[nodiscard]] const FlitTable& table() const noexcept { return table_; }
+  [[nodiscard]] const BuilderStats& stats() const noexcept { return stats_; }
+
+  /// Combined FLIT map + FLIT table storage (paper: 2 B + 12 B = 14 B).
+  [[nodiscard]] std::uint32_t storage_bytes() const noexcept {
+    return (flits_per_row_ + 7) / 8 + table_.storage_bytes();
+  }
+
+  static constexpr Cycle kStage1Cycles = 1;
+  static constexpr Cycle kStage2Cycles = 2;
+  static constexpr Cycle kInitiationInterval = 2;
+
+ private:
+  struct Built {
+    HmcRequest request;
+    Cycle ready_at = 0;
+  };
+
+  const AddressMap& map_;
+  FlitTable table_;
+  std::uint32_t groups_;
+  std::uint32_t flits_per_row_;
+  Cycle next_accept_at_ = 0;
+  std::deque<Built> out_;
+  BuilderStats stats_;
+};
+
+}  // namespace mac3d

@@ -1,0 +1,27 @@
+#include "mem/address_map.hpp"
+
+namespace mac3d {
+
+AddressMap::AddressMap(const SimConfig& config)
+    : row_shift_(log2_exact(config.row_bytes)),
+      vault_bits_(log2_exact(config.vaults)),
+      node_shift_(log2_exact(config.hmc_capacity)),
+      flits_per_row_(config.flits_per_row()),
+      vaults_(config.vaults),
+      banks_per_vault_(config.banks_per_vault),
+      node_span_(config.hmc_capacity) {}
+
+DecodedAddress AddressMap::decode(Address addr) const noexcept {
+  DecodedAddress out;
+  out.node = node_of(addr);
+  const Address local = local_addr(addr);
+  out.row = local >> row_shift_;
+  out.flit = flit_of(local);
+  out.flit_off = static_cast<std::uint32_t>(bits(addr, 0, kFlitShift));
+  out.vault = vault_of(out.row);
+  out.bank = bank_of(out.row);
+  out.bank_row = out.row >> (vault_bits_ + log2_exact(banks_per_vault_));
+  return out;
+}
+
+}  // namespace mac3d

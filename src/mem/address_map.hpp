@@ -1,0 +1,91 @@
+// Physical address decomposition for the 3D-stacked memory (paper Fig. 5).
+//
+// Layout (low to high):
+//   bits [0 .. 3]                      FLIT offset (ignored by the MAC)
+//   bits [4 .. 4+log2(flits/row)-1]    FLIT id within the DRAM row
+//   bits [row_shift ..]                row number = {vault, bank, row index}
+//
+// Vaults are interleaved at row granularity (consecutive rows map to
+// consecutive vaults), matching the HMC's interleaved-vault organization.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitutil.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace mac3d {
+
+/// Fully decoded address.
+struct DecodedAddress {
+  std::uint64_t row = 0;       ///< global row number (addr >> row_shift)
+  std::uint32_t flit = 0;      ///< FLIT index within the row
+  std::uint32_t flit_off = 0;  ///< byte offset within the FLIT
+  std::uint32_t vault = 0;     ///< vault index
+  std::uint32_t bank = 0;      ///< bank index within the vault
+  std::uint64_t bank_row = 0;  ///< row index within the bank
+  NodeId node = 0;             ///< NUMA node owning the address
+
+  friend bool operator==(const DecodedAddress&,
+                         const DecodedAddress&) = default;
+};
+
+/// Stateless decoder bound to one SimConfig geometry.
+class AddressMap {
+ public:
+  explicit AddressMap(const SimConfig& config);
+
+  [[nodiscard]] DecodedAddress decode(Address addr) const noexcept;
+
+  /// Row number only (hot path in the ARQ comparators).
+  [[nodiscard]] std::uint64_t row_of(Address addr) const noexcept {
+    return addr >> row_shift_;
+  }
+  /// FLIT index within the row.
+  [[nodiscard]] std::uint32_t flit_of(Address addr) const noexcept {
+    return static_cast<std::uint32_t>(
+        bits(addr, kFlitShift, row_shift_ - kFlitShift));
+  }
+  /// First byte address of a row.
+  [[nodiscard]] Address row_base(std::uint64_t row) const noexcept {
+    return row << row_shift_;
+  }
+  [[nodiscard]] std::uint32_t vault_of(std::uint64_t row) const noexcept {
+    return static_cast<std::uint32_t>(row & (vaults_ - 1));
+  }
+  [[nodiscard]] std::uint32_t bank_of(std::uint64_t row) const noexcept {
+    return static_cast<std::uint32_t>((row >> vault_bits_) &
+                                      (banks_per_vault_ - 1));
+  }
+  /// Global bank index (vault-major), in [0, vaults * banks_per_vault).
+  [[nodiscard]] std::uint32_t global_bank(std::uint64_t row) const noexcept {
+    return vault_of(row) * banks_per_vault_ + bank_of(row);
+  }
+  [[nodiscard]] NodeId node_of(Address addr) const noexcept {
+    return static_cast<NodeId>(addr >> node_shift_);
+  }
+  /// Local (within-node) address: strips the node bits.
+  [[nodiscard]] Address local_addr(Address addr) const noexcept {
+    return addr & (node_span_ - 1);
+  }
+
+  [[nodiscard]] unsigned row_shift() const noexcept { return row_shift_; }
+  [[nodiscard]] std::uint32_t flits_per_row() const noexcept {
+    return flits_per_row_;
+  }
+  [[nodiscard]] std::uint64_t node_span() const noexcept { return node_span_; }
+
+  static constexpr unsigned kFlitShift = 4;  ///< log2(kFlitBytes)
+
+ private:
+  unsigned row_shift_;
+  unsigned vault_bits_;
+  unsigned node_shift_;
+  std::uint32_t flits_per_row_;
+  std::uint32_t vaults_;
+  std::uint32_t banks_per_vault_;
+  std::uint64_t node_span_;
+};
+
+}  // namespace mac3d

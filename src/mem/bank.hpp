@@ -1,0 +1,120 @@
+// Closed-page DRAM bank timing model (paper Sec. 2.2.1).
+//
+// Under the HMC's closed-page policy every access activates its row, moves
+// the data, and precharges. A request that arrives while the bank is still
+// busy with an earlier access is a *bank conflict* and is serialized.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mac3d {
+
+class Bank {
+ public:
+  struct Schedule {
+    Cycle start = 0;       ///< when the activation begins
+    Cycle data_ready = 0;  ///< when the last data FLIT leaves the bank
+    bool conflict = false; ///< arrival found the bank busy
+    bool refresh_stall = false;  ///< pushed past a refresh window
+    bool row_hit = false;  ///< open-page mode: hit in the row buffer
+  };
+
+  /// Enable periodic refresh: the bank is unavailable for `duration`
+  /// cycles every `interval` cycles, phase-shifted by `phase` (vault
+  /// controllers stagger refreshes across banks).
+  void configure_refresh(Cycle interval, Cycle duration,
+                         Cycle phase) noexcept {
+    refresh_interval_ = interval;
+    refresh_duration_ = duration;
+    refresh_phase_ = interval == 0 ? 0 : phase % interval;
+  }
+
+  /// Schedule one closed-page access arriving at `arrival`.
+  /// `access_cycles` covers ACT+CAS+data, `precharge_cycles` the PRE after.
+  Schedule access(Cycle arrival, Cycle access_cycles,
+                  Cycle precharge_cycles) noexcept {
+    Schedule sched = begin_access(arrival);
+    sched.data_ready = sched.start + access_cycles;
+    free_at_ = sched.data_ready + precharge_cycles;
+    return sched;
+  }
+
+  /// Schedule one access under an (hypothetical for HMC — Sec. 2.2.1
+  /// explains why the real device precharges immediately) open-page
+  /// policy: a row-buffer hit skips the activation, a miss pays
+  /// precharge + activation up front. The row is left open.
+  Schedule access_open_page(Cycle arrival, std::uint64_t row,
+                            Cycle activate_cycles, Cycle cas_cycles,
+                            Cycle precharge_cycles) noexcept {
+    Schedule sched = begin_access(arrival);
+    if (open_row_valid_ && open_row_ == row) {
+      sched.row_hit = true;
+      ++row_hits_;
+      sched.data_ready = sched.start + cas_cycles;
+    } else if (!open_row_valid_) {
+      sched.data_ready = sched.start + activate_cycles + cas_cycles;
+    } else {
+      sched.data_ready =
+          sched.start + precharge_cycles + activate_cycles + cas_cycles;
+    }
+    open_row_ = row;
+    open_row_valid_ = true;
+    free_at_ = sched.data_ready;  // no precharge: the row stays open
+    return sched;
+  }
+
+  [[nodiscard]] Cycle free_at() const noexcept { return free_at_; }
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+  [[nodiscard]] std::uint64_t conflicts() const noexcept { return conflicts_; }
+  [[nodiscard]] std::uint64_t refresh_stalls() const noexcept {
+    return refresh_stalls_;
+  }
+  [[nodiscard]] std::uint64_t row_hits() const noexcept { return row_hits_; }
+  [[nodiscard]] bool busy(Cycle now) const noexcept { return now < free_at_; }
+
+  void reset() noexcept {
+    free_at_ = 0;
+    accesses_ = 0;
+    conflicts_ = 0;
+    refresh_stalls_ = 0;
+    row_hits_ = 0;
+    open_row_valid_ = false;
+  }
+
+ private:
+  /// Common arbitration: serialize behind the previous access and step
+  /// over any refresh window.
+  Schedule begin_access(Cycle arrival) noexcept {
+    Schedule sched;
+    sched.conflict = arrival < free_at_;
+    sched.start = sched.conflict ? free_at_ : arrival;
+    if (refresh_interval_ != 0) {
+      // An access may not begin inside a refresh window.
+      const Cycle position =
+          (sched.start + refresh_phase_) % refresh_interval_;
+      if (position < refresh_duration_) {
+        sched.start += refresh_duration_ - position;
+        sched.refresh_stall = true;
+        ++refresh_stalls_;
+      }
+    }
+    ++accesses_;
+    conflicts_ += sched.conflict ? 1 : 0;
+    return sched;
+  }
+
+  Cycle free_at_ = 0;
+  Cycle refresh_interval_ = 0;  ///< 0 = refresh disabled
+  Cycle refresh_duration_ = 0;
+  Cycle refresh_phase_ = 0;
+  std::uint64_t open_row_ = 0;  ///< open-page mode only
+  bool open_row_valid_ = false;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t refresh_stalls_ = 0;
+  std::uint64_t row_hits_ = 0;
+};
+
+}  // namespace mac3d

@@ -1,0 +1,112 @@
+// HMCSim-style timed model of one 3D-stacked memory cube.
+//
+// The model follows the request path of an HMC 2.1 device as described in
+// the paper: packets are serialized over one of `hmc_links` external links
+// (selected by vault quadrant), pass through SerDes + vault controller,
+// access one closed-page bank inside one of the interleaved vaults, and the
+// response is serialized back. Every access pays the 32 B control overhead
+// of the packetized protocol; every arrival at a busy bank counts as a bank
+// conflict (Sec. 2.2.1).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/address_map.hpp"
+#include "mem/bank.hpp"
+#include "mem/link.hpp"
+#include "mem/packet.hpp"
+
+namespace mac3d {
+
+/// Aggregate device counters.
+struct HmcStats {
+  std::uint64_t requests = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t bank_conflicts = 0;
+  std::uint64_t refresh_stalls = 0;  ///< accesses delayed by a refresh
+  std::uint64_t row_hits = 0;        ///< open-page mode row-buffer hits
+  std::uint64_t data_bytes = 0;      ///< payload moved
+  std::uint64_t link_bytes = 0;      ///< payload + control on the links
+  std::uint64_t overhead_bytes = 0;  ///< control only (32 B per access)
+  RunningStat latency_cycles;        ///< submit -> response available
+  RunningStat packet_data_bytes;     ///< payload size distribution
+  Histogram latency_hist{40};
+
+  /// Measured Eq. 1 over the whole run.
+  [[nodiscard]] double measured_bandwidth_efficiency() const noexcept {
+    return link_bytes == 0
+               ? 0.0
+               : static_cast<double>(data_bytes) /
+                     static_cast<double>(link_bytes);
+  }
+
+  void collect(StatSet& out, const std::string& prefix) const;
+};
+
+class HmcDevice {
+ public:
+  explicit HmcDevice(const SimConfig& config, NodeId node = 0);
+
+  /// Link-level back-pressure: false when the target link's request
+  /// direction is backlogged beyond the injection-queue horizon.
+  [[nodiscard]] bool can_accept(const HmcRequest& request,
+                                Cycle now) const noexcept;
+
+  /// Schedule a request submitted at `now`. Returns the completion cycle.
+  /// The response is retrievable via drain() once `now >= completion`.
+  Cycle submit(HmcRequest request, Cycle now);
+
+  /// Pop all responses completed at or before `now` (completion order).
+  std::vector<HmcResponse> drain(Cycle now);
+
+  /// True when no undelivered response remains.
+  [[nodiscard]] bool idle() const noexcept { return pending_.empty(); }
+
+  /// Earliest completion among in-flight transactions (0 when idle).
+  [[nodiscard]] Cycle next_completion() const noexcept {
+    return pending_.empty() ? 0 : pending_.top().completed;
+  }
+
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return pending_.size();
+  }
+
+  [[nodiscard]] const HmcStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const AddressMap& address_map() const noexcept { return map_; }
+
+  /// Per-link FLIT totals (request dir, response dir).
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> link_flits() const;
+
+  void reset();
+
+ private:
+  struct PendingGreater {
+    bool operator()(const HmcResponse& a, const HmcResponse& b) const {
+      return a.completed > b.completed || (a.completed == b.completed &&
+                                           a.id > b.id);
+    }
+  };
+
+  [[nodiscard]] std::uint32_t link_of(std::uint32_t vault) const noexcept {
+    return vault / vaults_per_link_;
+  }
+
+  SimConfig config_;
+  AddressMap map_;
+  NodeId node_;
+  std::uint32_t vaults_per_link_;
+  std::vector<Bank> banks_;  ///< flat [vault][bank]
+  std::vector<Link> links_;
+  std::priority_queue<HmcResponse, std::vector<HmcResponse>, PendingGreater>
+      pending_;
+  HmcStats stats_;
+};
+
+}  // namespace mac3d

@@ -1,0 +1,377 @@
+#include "sim/driver.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "cache/mshr.hpp"
+#include "mac/coalescer.hpp"
+#include "mem/hmc_device.hpp"
+#include "sim/raw_path.hpp"
+
+namespace mac3d {
+
+void DriverResult::collect(StatSet& out, const std::string& prefix) const {
+  out.set(prefix + ".makespan_cycles", static_cast<double>(makespan));
+  out.set(prefix + ".raw_requests", static_cast<double>(raw_requests));
+  out.set(prefix + ".packets", static_cast<double>(packets));
+  out.set(prefix + ".completions", static_cast<double>(completions));
+  out.set(prefix + ".bank_conflicts", static_cast<double>(bank_conflicts));
+  out.set(prefix + ".data_bytes", static_cast<double>(data_bytes));
+  out.set(prefix + ".link_bytes", static_cast<double>(link_bytes));
+  out.set(prefix + ".overhead_bytes", static_cast<double>(overhead_bytes));
+  out.set(prefix + ".coalescing_efficiency", coalescing_efficiency());
+  out.set(prefix + ".bandwidth_efficiency", bandwidth_efficiency());
+  out.set(prefix + ".avg_latency_cycles", avg_latency_cycles);
+  out.set(prefix + ".avg_packet_bytes", avg_packet_bytes);
+}
+
+namespace {
+
+constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+struct LoopResult {
+  Cycle makespan = 0;       ///< cycle of the last completion
+  std::uint64_t completions = 0;  ///< data records + retired fences
+};
+
+/// Trace streaming (paper Sec. 5.1): every thread's memory instruction
+/// stream arrives open-loop, paced only by its recorded compute gaps (the
+/// instruction stream the RISC-V tracer produced); the interleaved
+/// arrivals are presented round-robin and the path absorbs as many as its
+/// intake ports allow per cycle (the MAC: one merge + one allocation).
+/// Back-pressure queues arrivals; it never slows the cores down.
+template <typename Path>
+LoopResult run_streaming(Path& path, const MemoryTrace& trace,
+                         const SimConfig& config, std::uint32_t threads,
+                         bool charge_gaps) {
+  struct ThreadCursor {
+    std::size_t next = 0;
+    Cycle arrive_at = 0;  ///< when the current record reaches the queue
+    Tag tag = 0;
+  };
+
+  threads = std::min(threads, trace.threads());
+  std::vector<ThreadCursor> cursors(threads);
+  std::uint64_t records_left = 0;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const auto& records = trace.thread(static_cast<ThreadId>(t));
+    records_left += records.size();
+    if (!records.empty() && charge_gaps) {
+      cursors[t].arrive_at = records.front().gap;
+    }
+  }
+
+  Cycle now = 0;
+  LoopResult result;
+  std::uint32_t turn = 0;
+
+  while (records_left > 0 || !path.idle()) {
+    // Intake: present arrived records round-robin until the path's intake
+    // ports reject one (or no arrival is pending).
+    bool intake_open = records_left > 0;
+    while (intake_open) {
+      bool found = false;
+      for (std::uint32_t scan = 0; scan < threads; ++scan) {
+        const std::uint32_t t = (turn + scan) % threads;
+        const auto tid = static_cast<ThreadId>(t);
+        ThreadCursor& cursor = cursors[t];
+        const auto& records = trace.thread(tid);
+        if (cursor.next >= records.size() || cursor.arrive_at > now) continue;
+        const MemRecord& record = records[cursor.next];
+        RawRequest request;
+        request.addr = record.addr;
+        request.op = record.op;
+        request.size = record.size;
+        request.tid = tid;
+        request.tag = cursor.tag;
+        request.core = static_cast<CoreId>(t % config.cores);
+        if (!path.try_accept(request, now)) {
+          intake_open = false;
+          break;
+        }
+        ++cursor.tag;
+        ++cursor.next;
+        --records_left;
+        // Open-loop pacing: the next record arrives `gap` core cycles
+        // after this one *was generated* (arrivals can back up).
+        if (cursor.next < records.size()) {
+          cursor.arrive_at += charge_gaps ? records[cursor.next].gap : 0;
+        }
+        turn = (t + 1) % threads;
+        found = true;
+        break;
+      }
+      if (!found) break;
+    }
+
+    path.tick(now);
+    for (const CompletedAccess& done : path.drain(now)) {
+      result.makespan = std::max(result.makespan, done.completed);
+      ++result.completions;
+    }
+
+    // Advance time.
+    Cycle next = kNever;
+    if (records_left > 0) {
+      Cycle earliest = kNever;
+      bool pending_now = false;
+      for (std::uint32_t t = 0; t < threads; ++t) {
+        const ThreadCursor& cursor = cursors[t];
+        if (cursor.next >= trace.thread(static_cast<ThreadId>(t)).size()) {
+          continue;
+        }
+        if (cursor.arrive_at <= now) {
+          pending_now = true;
+          break;
+        }
+        earliest = std::min(earliest, cursor.arrive_at);
+      }
+      if (pending_now) {
+        next = now + 1;
+      } else {
+        next = earliest;
+      }
+    }
+    const Cycle path_next = path.next_event(now);
+    if (path_next > now) next = std::min(next, path_next);
+    now = (next == kNever || next <= now) ? now + 1 : next;
+  }
+  return result;
+}
+
+/// Closed-loop feed (paper Sec. 3): each hardware thread may have a small
+/// number of loads outstanding (hit-under-miss) and posts stores through a
+/// finite store buffer; it stalls otherwise, and pays its recorded compute
+/// gap between references. Up to `intake_ports` requests (one per core
+/// port) enter the path per cycle.
+template <typename Path>
+LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
+                           const SimConfig& config, std::uint32_t threads,
+                           const DriveOptions& options) {
+  struct ThreadCursor {
+    std::size_t next = 0;
+    std::uint32_t loads = 0;   ///< outstanding loads + atomics
+    std::uint32_t stores = 0;  ///< store-buffer occupancy
+    Cycle ready_at = 0;
+    Tag tag = 0;
+  };
+
+  threads = std::min(threads, trace.threads());
+  const std::uint32_t ports =
+      options.intake_ports == 0 ? config.cores : options.intake_ports;
+  std::vector<ThreadCursor> cursors(threads);
+  std::uint64_t records_left = 0;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const auto& records = trace.thread(static_cast<ThreadId>(t));
+    records_left += records.size();
+    if (!records.empty() && options.charge_gaps) {
+      cursors[t].ready_at = records.front().gap;
+    }
+  }
+
+  Cycle now = 0;
+  LoopResult result;
+  std::uint32_t turn = 0;
+  std::uint64_t outstanding_total = 0;
+
+  auto thread_issuable = [&](const ThreadCursor& cursor,
+                             ThreadId tid) -> bool {
+    const auto& records = trace.thread(tid);
+    if (cursor.next >= records.size() || cursor.ready_at > now) return false;
+    switch (records[cursor.next].op) {
+      case MemOp::kFence:  // a fence waits for all of the thread's ops
+        return cursor.loads == 0 && cursor.stores == 0;
+      case MemOp::kStore:
+        return cursor.stores < options.max_stores_per_thread;
+      case MemOp::kLoad:
+      case MemOp::kAtomic:
+        return cursor.loads < options.max_loads_per_thread;
+    }
+    return false;
+  };
+
+  while (records_left > 0 || outstanding_total > 0 || !path.idle()) {
+    // Intake: scan the threads round-robin, presenting issuable requests
+    // until the path's intake ports reject one (or every thread is busy).
+    std::uint32_t accepted = 0;
+    bool intake_open = true;
+    while (records_left > 0 && accepted < ports && intake_open) {
+      bool found = false;
+      for (std::uint32_t scan = 0; scan < threads; ++scan) {
+        const std::uint32_t t = (turn + scan) % threads;
+        const auto tid = static_cast<ThreadId>(t);
+        ThreadCursor& cursor = cursors[t];
+        if (!thread_issuable(cursor, tid)) continue;
+        const MemRecord& record = trace.thread(tid)[cursor.next];
+        RawRequest request;
+        request.addr = record.addr;
+        request.op = record.op;
+        request.size = record.size;
+        request.tid = tid;
+        request.tag = cursor.tag;
+        request.core = static_cast<CoreId>(t % config.cores);
+        if (!path.try_accept(request, now)) {
+          intake_open = false;  // ports exhausted for this cycle
+          break;
+        }
+        ++cursor.tag;
+        ++cursor.next;
+        if (record.op == MemOp::kStore) {
+          ++cursor.stores;
+        } else {
+          ++cursor.loads;  // loads, atomics and fences all complete back
+        }
+        ++outstanding_total;
+        --records_left;
+        turn = (t + 1) % threads;
+        found = true;
+        ++accepted;
+        break;
+      }
+      if (!found) break;
+    }
+
+    path.tick(now);
+    for (const CompletedAccess& done : path.drain(now)) {
+      result.makespan = std::max(result.makespan, done.completed);
+      ++result.completions;
+      const std::uint32_t t = done.target.tid;
+      if (t >= threads) continue;  // foreign node traffic (not used here)
+      ThreadCursor& cursor = cursors[t];
+      if (done.write && !done.atomic && !done.fence) {
+        --cursor.stores;
+      } else {
+        --cursor.loads;  // loads, atomics and fences
+      }
+      --outstanding_total;
+      const auto& records = trace.thread(static_cast<ThreadId>(t));
+      Cycle ready = done.completed;
+      if (options.charge_gaps && cursor.next < records.size()) {
+        ready += records[cursor.next].gap;
+      }
+      cursor.ready_at = std::max(cursor.ready_at, ready);
+    }
+
+    // Advance time: immediately if another request can go now, else to the
+    // earliest of (path event, thread ready time).
+    Cycle next = kNever;
+    if (records_left > 0) {
+      bool now_issuable = false;
+      Cycle earliest_ready = kNever;
+      for (std::uint32_t t = 0; t < threads; ++t) {
+        const auto tid = static_cast<ThreadId>(t);
+        const ThreadCursor& cursor = cursors[t];
+        const auto& records = trace.thread(tid);
+        if (cursor.next >= records.size()) continue;
+        if (thread_issuable(cursor, tid)) {
+          now_issuable = true;
+          break;
+        }
+        // Blocked only on time (not on an occupancy window)?
+        const MemRecord& record = records[cursor.next];
+        bool window_ok = false;
+        switch (record.op) {
+          case MemOp::kFence:
+            window_ok = cursor.loads == 0 && cursor.stores == 0;
+            break;
+          case MemOp::kStore:
+            window_ok = cursor.stores < options.max_stores_per_thread;
+            break;
+          default:
+            window_ok = cursor.loads < options.max_loads_per_thread;
+        }
+        if (window_ok && cursor.ready_at > now) {
+          earliest_ready = std::min(earliest_ready, cursor.ready_at);
+        }
+      }
+      if (now_issuable) {
+        next = now + 1;
+      } else if (earliest_ready != kNever) {
+        next = earliest_ready;
+      }
+    }
+    const Cycle path_next = path.next_event(now);
+    if (path_next > now) next = std::min(next, path_next);
+    now = (next == kNever || next <= now) ? now + 1 : next;
+  }
+  return result;
+}
+
+template <typename Path>
+DriverResult finish(Path& path, const HmcDevice& device,
+                    const LoopResult& loop, const char* name) {
+  DriverResult result;
+  result.path = name;
+  result.makespan = loop.makespan;
+  result.completions = loop.completions;
+  const HmcStats& hmc = device.stats();
+  result.packets = hmc.requests;
+  result.bank_conflicts = hmc.bank_conflicts;
+  result.refresh_stalls = hmc.refresh_stalls;
+  result.row_hit_rate =
+      hmc.requests == 0 ? 0.0
+                        : static_cast<double>(hmc.row_hits) /
+                              static_cast<double>(hmc.requests);
+  result.data_bytes = hmc.data_bytes;
+  result.link_bytes = hmc.link_bytes;
+  result.overhead_bytes = hmc.overhead_bytes;
+  result.avg_packet_bytes = hmc.packet_data_bytes.mean();
+  result.device_latency_sum = hmc.latency_cycles.sum();
+  result.device_latency_avg = hmc.latency_cycles.mean();
+  (void)path;
+  return result;
+}
+
+template <typename Path>
+LoopResult dispatch(Path& path, const MemoryTrace& trace,
+                    const SimConfig& config, std::uint32_t threads,
+                    const DriveOptions& options) {
+  return options.mode == FeedMode::kStreaming
+             ? run_streaming(path, trace, config, threads,
+                             options.charge_gaps)
+             : run_closed_loop(path, trace, config, threads, options);
+}
+
+}  // namespace
+
+DriverResult run_mac(const MemoryTrace& trace, const SimConfig& config,
+                     std::uint32_t threads, const DriveOptions& options) {
+  HmcDevice device(config);
+  MacCoalescer mac(config, device);
+  const LoopResult loop = dispatch(mac, trace, config, threads, options);
+  DriverResult result = finish(mac, device, loop, "mac");
+  result.raw_requests = mac.stats().raw_in;
+  result.avg_latency_cycles = mac.stats().raw_latency_cycles.mean();
+  result.avg_targets_per_entry = mac.arq().stats().targets_per_entry.mean();
+  result.max_targets_per_entry = mac.arq().stats().targets_per_entry.max();
+  result.packets_by_size = mac.stats().packets_by_size;
+  return result;
+}
+
+DriverResult run_raw(const MemoryTrace& trace, const SimConfig& config,
+                     std::uint32_t threads, const DriveOptions& options) {
+  HmcDevice device(config);
+  RawPath raw(config, device);
+  const LoopResult loop = dispatch(raw, trace, config, threads, options);
+  DriverResult result = finish(raw, device, loop, "raw");
+  result.raw_requests = raw.raw_in();
+  result.avg_latency_cycles = raw.latency().mean();
+  result.packets_by_size[kFlitBytes] = raw.packets_out();
+  return result;
+}
+
+DriverResult run_mshr(const MemoryTrace& trace, const SimConfig& config,
+                      std::uint32_t threads, std::uint32_t mshr_entries,
+                      std::uint32_t block_bytes, const DriveOptions& options) {
+  HmcDevice device(config);
+  MshrCoalescer mshr(config, device, mshr_entries, block_bytes);
+  const LoopResult loop = dispatch(mshr, trace, config, threads, options);
+  DriverResult result = finish(mshr, device, loop, "mshr");
+  result.raw_requests = mshr.stats().raw_in;
+  result.avg_latency_cycles = mshr.stats().raw_latency_cycles.mean();
+  result.packets_by_size[block_bytes] = mshr.stats().packets_out;
+  return result;
+}
+
+}  // namespace mac3d

@@ -1,0 +1,111 @@
+// Streaming simulation drivers (the paper's methodology, Sec. 5.1): the
+// interleaved multi-thread trace is fed into a memory path at its intake
+// rate (one raw request per cycle, with back-pressure), the path drives
+// the HMC device model, and every paper metric is collected.
+//
+// Three paths are available over identical traces:
+//   * MAC   — the paper's coalescer (MacCoalescer)
+//   * raw   — one 16 B transaction per raw request ("without MAC")
+//   * MSHR  — conventional fixed-64 B DMC baseline (Sec. 2.3)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace mac3d {
+
+/// How the trace is fed into the memory path.
+enum class FeedMode {
+  /// Trace streaming — the paper's methodology (Sec. 5.1): the interleaved
+  /// multi-thread memory instruction stream is presented to the memory
+  /// interface at its intake rate, with back-pressure. This is the
+  /// default for all figure benches.
+  kStreaming,
+  /// Execution-driven: threads stall on outstanding references
+  /// (paper Sec. 3) with a small load window and posted stores, paying
+  /// their recorded compute gaps. Used by the feed-mode ablation and the
+  /// full-system (arch/) examples.
+  kClosedLoop,
+};
+
+struct DriveOptions {
+  FeedMode mode = FeedMode::kStreaming;
+  /// Loads (and atomics) a thread may have outstanding before it stalls.
+  /// 2 models the classic "hit under miss" (Kroft) a simple in-order core
+  /// affords; 1 is the strict stall-on-every-reference of paper Sec. 3.
+  std::uint32_t max_loads_per_thread = 2;
+  /// Posted stores: the store-buffer depth per thread (stores retire
+  /// without stalling the core until the buffer fills).
+  std::uint32_t max_stores_per_thread = 4;
+  /// Requests entering the MAC per cycle (one per core port; 0 = cores).
+  /// The comparators check all ARQ entries simultaneously, so the ARQ can
+  /// absorb one request per core port each cycle (cf. Fig. 9: up to 9.32
+  /// raw requests per cycle are ready to enter the ARQ).
+  std::uint32_t intake_ports = 0;
+  bool charge_gaps = true;  ///< pay per-record compute gaps (closed loop)
+};
+
+struct DriverResult {
+  std::string path;                ///< "mac", "raw" or "mshr"
+  Cycle makespan = 0;              ///< cycle the last completion arrived
+  std::uint64_t raw_requests = 0;  ///< loads + stores + atomics fed in
+  std::uint64_t packets = 0;       ///< HMC transactions dispatched
+  std::uint64_t completions = 0;   ///< de-coalesced completions (+ fences)
+  std::uint64_t bank_conflicts = 0;
+  std::uint64_t refresh_stalls = 0;
+  double row_hit_rate = 0.0;  ///< open-page mode only (page-policy ablation)
+  std::uint64_t data_bytes = 0;    ///< payload moved on the links
+  std::uint64_t link_bytes = 0;    ///< payload + control
+  std::uint64_t overhead_bytes = 0;
+  double avg_latency_cycles = 0.0;   ///< per raw request, accept -> complete
+  double avg_packet_bytes = 0.0;
+  /// Σ over HMC transactions of (response − submit) as measured inside
+  /// the device model — the paper's Fig. 17 quantity.
+  double device_latency_sum = 0.0;
+  double device_latency_avg = 0.0;
+  double avg_targets_per_entry = 0.0;  ///< MAC only (Fig. 15)
+  double max_targets_per_entry = 0.0;  ///< MAC only
+  std::map<std::uint32_t, std::uint64_t> packets_by_size;
+
+  /// Paper Sec. 5.3.1 (Eq. 3 as used in the text): request reduction.
+  [[nodiscard]] double coalescing_efficiency() const noexcept {
+    return raw_requests == 0 ? 0.0
+                             : 1.0 - static_cast<double>(packets) /
+                                         static_cast<double>(raw_requests);
+  }
+  /// Paper Eq. 1, measured over the whole run.
+  [[nodiscard]] double bandwidth_efficiency() const noexcept {
+    return link_bytes == 0 ? 0.0
+                           : static_cast<double>(data_bytes) /
+                                 static_cast<double>(link_bytes);
+  }
+
+  void collect(StatSet& out, const std::string& prefix) const;
+};
+
+/// Run the trace (first `threads` streams) through the MAC.
+[[nodiscard]] DriverResult run_mac(const MemoryTrace& trace,
+                                   const SimConfig& config,
+                                   std::uint32_t threads,
+                                   const DriveOptions& options = {});
+
+/// Same trace, raw 16 B requests (the "without MAC" baseline).
+[[nodiscard]] DriverResult run_raw(const MemoryTrace& trace,
+                                   const SimConfig& config,
+                                   std::uint32_t threads,
+                                   const DriveOptions& options = {});
+
+/// Same trace through the fixed-granularity MSHR coalescer baseline.
+[[nodiscard]] DriverResult run_mshr(const MemoryTrace& trace,
+                                    const SimConfig& config,
+                                    std::uint32_t threads,
+                                    std::uint32_t mshr_entries = 32,
+                                    std::uint32_t block_bytes = 64,
+                                    const DriveOptions& options = {});
+
+}  // namespace mac3d

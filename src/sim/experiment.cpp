@@ -1,0 +1,73 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mac3d {
+
+std::vector<WorkloadRun> run_suite(const SuiteOptions& options) {
+  std::vector<WorkloadRun> runs;
+  for (const Workload* workload : workload_registry()) {
+    if (!options.only.empty() &&
+        std::find(options.only.begin(), options.only.end(),
+                  workload->name()) == options.only.end()) {
+      continue;
+    }
+    WorkloadParams params;
+    params.threads = options.threads;
+    params.scale = options.scale;
+    params.seed = options.seed;
+    params.config = options.config;
+    const MemoryTrace trace = workload->trace(params);
+
+    WorkloadRun run;
+    run.name = workload->name();
+    run.trace.records = trace.size();
+    run.trace.instructions = trace.instructions();
+    run.trace.memory_refs = trace.memory_refs();
+    run.trace.main_memory_refs = trace.main_memory_refs();
+    run.trace.spm_refs = trace.spm_refs();
+    run.trace.requests_per_instruction = trace.requests_per_instruction();
+    run.trace.mem_access_rate = trace.mem_access_rate();
+
+    if (options.run_raw) {
+      run.raw = run_raw(trace, options.config, options.threads);
+    }
+    if (options.run_mac) {
+      run.mac = run_mac(trace, options.config, options.threads);
+    }
+    if (options.run_mshr) {
+      run.mshr = run_mshr(trace, options.config, options.threads,
+                          options.mshr_entries, options.mshr_block_bytes);
+    }
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+double env_scale() {
+  if (const char* raw = std::getenv("MAC3D_SCALE")) {
+    const double scale = std::atof(raw);
+    if (scale > 0.0) return scale;
+  }
+  return 1.0;
+}
+
+std::uint32_t env_threads(std::uint32_t fallback) {
+  if (const char* raw = std::getenv("MAC3D_THREADS")) {
+    const int threads = std::atoi(raw);
+    if (threads > 0) return static_cast<std::uint32_t>(threads);
+  }
+  return fallback;
+}
+
+SuiteOptions default_suite_options() {
+  SuiteOptions options;
+  options.config.apply_env();
+  options.config.validate();
+  options.scale = env_scale();
+  options.threads = env_threads(options.config.cores);
+  return options;
+}
+
+}  // namespace mac3d

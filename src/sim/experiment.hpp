@@ -1,0 +1,62 @@
+// Experiment harness shared by the per-figure benchmark binaries: runs the
+// twelve-workload suite through the requested memory paths and gathers
+// every metric the paper's figures report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/driver.hpp"
+#include "workloads/workload.hpp"
+
+namespace mac3d {
+
+struct SuiteOptions {
+  SimConfig config;
+  std::uint32_t threads = 8;   ///< interleaved thread streams fed to the MAC
+  double scale = 1.0;          ///< workload dataset scale
+  std::uint64_t seed = 42;
+  bool run_raw = true;
+  bool run_mac = true;
+  bool run_mshr = false;
+  std::uint32_t mshr_entries = 32;
+  std::uint32_t mshr_block_bytes = 64;
+  std::vector<std::string> only;  ///< restrict to these workloads if set
+};
+
+/// Trace-level characteristics kept per run (Fig. 9 ingredients).
+struct TraceSummary {
+  std::uint64_t records = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t memory_refs = 0;
+  std::uint64_t main_memory_refs = 0;
+  std::uint64_t spm_refs = 0;
+  double requests_per_instruction = 0.0;
+  double mem_access_rate = 0.0;
+};
+
+struct WorkloadRun {
+  std::string name;
+  TraceSummary trace;
+  DriverResult raw;   ///< valid if options.run_raw
+  DriverResult mac;   ///< valid if options.run_mac
+  DriverResult mshr;  ///< valid if options.run_mshr
+};
+
+/// Generate each workload's trace once and run it through the requested
+/// paths. Workloads run in registry (figure) order.
+[[nodiscard]] std::vector<WorkloadRun> run_suite(const SuiteOptions& options);
+
+/// Workload scale from MAC3D_SCALE (default 1.0; the benches honour it so
+/// users can approach paper-sized runs).
+[[nodiscard]] double env_scale();
+
+/// Thread count from MAC3D_THREADS (default = `fallback`).
+[[nodiscard]] std::uint32_t env_threads(std::uint32_t fallback = 8);
+
+/// Default suite options: Table 1 config + env overrides applied.
+[[nodiscard]] SuiteOptions default_suite_options();
+
+}  // namespace mac3d

@@ -1,0 +1,65 @@
+// Comparison metrics between memory paths (the quantities the paper's
+// evaluation figures report).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/driver.hpp"
+
+namespace mac3d {
+
+/// Fig. 17: memory-system performance gain from coalescing — the paper
+/// measures "the difference in execution latency of HMC memory
+/// transactions ... as measured by HMCSIM with and without MAC", i.e. the
+/// reduction of the summed device-level transaction latency:
+/// 1 - Σlat(MAC transactions) / Σlat(raw transactions).
+[[nodiscard]] inline double memory_speedup(const DriverResult& raw,
+                                           const DriverResult& mac) noexcept {
+  return raw.device_latency_sum <= 0.0
+             ? 0.0
+             : 1.0 - mac.device_latency_sum / raw.device_latency_sum;
+}
+
+/// Makespan view of the same comparison (drain time of the whole trace).
+[[nodiscard]] inline double makespan_speedup(const DriverResult& raw,
+                                             const DriverResult& mac) noexcept {
+  return raw.makespan == 0
+             ? 0.0
+             : 1.0 - static_cast<double>(mac.makespan) /
+                         static_cast<double>(raw.makespan);
+}
+
+/// Fig. 12: bank conflicts eliminated by the coalescer.
+[[nodiscard]] inline std::uint64_t bank_conflict_reduction(
+    const DriverResult& raw, const DriverResult& mac) noexcept {
+  return raw.bank_conflicts >= mac.bank_conflicts
+             ? raw.bank_conflicts - mac.bank_conflicts
+             : 0;
+}
+
+/// Fig. 14: link bytes saved (control overhead no longer transferred).
+[[nodiscard]] inline std::uint64_t bandwidth_saving_bytes(
+    const DriverResult& raw, const DriverResult& mac) noexcept {
+  return raw.link_bytes >= mac.link_bytes ? raw.link_bytes - mac.link_bytes
+                                          : 0;
+}
+
+/// Geometric mean (used for cross-workload summaries).
+[[nodiscard]] inline double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v <= 0.0 ? 1e-12 : v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/// Arithmetic mean.
+[[nodiscard]] inline double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace mac3d

@@ -1,0 +1,154 @@
+// The "without MAC" baseline memory path: every raw request goes to the
+// 3D-stacked memory as its own single-FLIT (16 B) transaction — exactly
+// the behaviour the paper's Fig. 2 (right) and Sec. 5.3 evaluate against.
+// Mirrors the MacCoalescer cycle interface so drivers are path-generic.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitutil.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mac/coalescer.hpp"  // CompletedAccess
+#include "mem/hmc_device.hpp"
+
+namespace mac3d {
+
+class RawPath {
+ public:
+  RawPath(const SimConfig& config, HmcDevice& device)
+      : device_(device), queue_capacity_(config.queue_depth) {}
+
+  [[nodiscard]] bool can_accept() const noexcept {
+    return queue_.size() < queue_capacity_;
+  }
+
+  /// The raw path is a plain FIFO: intake succeeds while there is space
+  /// (capped at two per cycle, matching the MAC's dual-ported intake).
+  [[nodiscard]] bool try_accept(const RawRequest& request, Cycle now) {
+    if (queue_.size() >= queue_capacity_) return false;
+    if (accepts_at_ == now && accepts_this_cycle_ >= 2) return false;
+    if (accepts_at_ != now) {
+      accepts_at_ = now;
+      accepts_this_cycle_ = 0;
+    }
+    ++accepts_this_cycle_;
+    queue_.push_back(request);
+    accept_cycle_[key(request)] = now;
+    raw_in_ += request.op != MemOp::kFence ? 1 : 0;
+    return true;
+  }
+
+  void accept(const RawRequest& request, Cycle now) {
+    const bool accepted = try_accept(request, now);
+    assert(accepted);
+    (void)accepted;
+  }
+
+  void tick(Cycle now) {
+    if (queue_.empty()) return;
+    const RawRequest& head = queue_.front();
+    if (head.op == MemOp::kFence) {
+      if (outstanding_ == 0) {
+        CompletedAccess done;
+        done.target = Target{head.tid, head.tag, 0};
+        done.fence = true;
+        done.accepted = take_accept(done.target, now);
+        done.completed = now;
+        ready_.push_back(done);
+        queue_.pop_front();
+      }
+      return;
+    }
+    HmcRequest request;
+    request.addr = align_down(head.addr, kFlitBytes);
+    request.data_bytes = kFlitBytes;
+    request.write = head.op == MemOp::kStore;
+    request.atomic = head.op == MemOp::kAtomic;
+    request.home_node = head.node;
+    const std::uint32_t flit = device_.address_map().flit_of(
+        device_.address_map().local_addr(head.addr));
+    request.targets.push_back(
+        Target{head.tid, head.tag, static_cast<std::uint8_t>(flit)});
+    if (!device_.can_accept(request, now)) return;
+    request.id = next_txn_++;
+    device_.submit(std::move(request), now);
+    ++outstanding_;
+    ++packets_out_;
+    queue_.pop_front();
+  }
+
+  std::vector<CompletedAccess> drain(Cycle now) {
+    std::vector<CompletedAccess> out;
+    out.swap(ready_);
+    for (const HmcResponse& response : device_.drain(now)) {
+      --outstanding_;
+      for (const Target& target : response.targets) {
+        CompletedAccess done;
+        done.target = target;
+        done.write = response.write;
+        done.completed = response.completed;
+        done.accepted = take_accept(target, response.completed);
+        latency_.add(static_cast<double>(done.completed - done.accepted));
+        out.push_back(done);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool idle() const noexcept {
+    return queue_.empty() && outstanding_ == 0 && ready_.empty();
+  }
+
+  [[nodiscard]] Cycle next_event(Cycle now) const noexcept {
+    if (idle()) return 0;
+    if (!ready_.empty()) return now;
+    if (!queue_.empty() && queue_.front().op != MemOp::kFence) return now + 1;
+    const Cycle completion = device_.next_completion();
+    return completion > now ? completion : now + 1;
+  }
+
+  [[nodiscard]] std::uint64_t raw_in() const noexcept { return raw_in_; }
+  [[nodiscard]] std::uint64_t packets_out() const noexcept {
+    return packets_out_;
+  }
+  [[nodiscard]] const RunningStat& latency() const noexcept {
+    return latency_;
+  }
+
+ private:
+  static std::uint32_t key(const RawRequest& request) noexcept {
+    return (static_cast<std::uint32_t>(request.tid) << 16) | request.tag;
+  }
+  static std::uint32_t key(const Target& target) noexcept {
+    return (static_cast<std::uint32_t>(target.tid) << 16) | target.tag;
+  }
+
+  Cycle take_accept(const Target& target, Cycle fallback) {
+    const auto it = accept_cycle_.find(key(target));
+    if (it == accept_cycle_.end()) return fallback;
+    const Cycle accepted = it->second;
+    accept_cycle_.erase(it);
+    return accepted;
+  }
+
+  HmcDevice& device_;
+  std::size_t queue_capacity_;
+  Cycle accepts_at_ = ~Cycle{0};
+  std::uint32_t accepts_this_cycle_ = 0;
+  std::deque<RawRequest> queue_;
+  std::unordered_map<std::uint32_t, Cycle> accept_cycle_;
+  std::vector<CompletedAccess> ready_;
+  std::uint64_t outstanding_ = 0;
+  std::uint64_t raw_in_ = 0;
+  std::uint64_t packets_out_ = 0;
+  TransactionId next_txn_ = 1;
+  RunningStat latency_;
+};
+
+}  // namespace mac3d

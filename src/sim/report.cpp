@@ -1,0 +1,114 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mac3d {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+std::string Table::count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run != 0 && run % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++run;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string Table::bytes(std::uint64_t value) {
+  constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double scaled = static_cast<double>(value);
+  std::size_t unit = 0;
+  while (scaled >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    scaled /= 1024.0;
+    ++unit;
+  }
+  return fmt(scaled, unit == 0 ? 0 : 2) + " " + kUnits[unit];
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+          << (c == 0 ? std::left : std::right) << cells[c];
+      out << (c == 0 ? "" : "");
+      out.setf(std::ios::right, std::ios::adjustfield);
+    }
+    out << " |\n";
+  };
+  auto emit_sep = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << (c == 0 ? "+" : "+") << std::string(widths[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  emit_sep();
+  emit_row(headers_);
+  emit_sep();
+  for (const auto& row : rows_) emit_row(row);
+  emit_sep();
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c ? "," : "") << cells[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print() const { std::cout << to_string() << std::flush; }
+
+void print_banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+void print_reference(const std::string& what, const std::string& paper,
+                     const std::string& measured) {
+  std::cout << "  " << what << ": paper " << paper << " | measured "
+            << measured << "\n";
+}
+
+}  // namespace mac3d

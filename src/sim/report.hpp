@@ -1,0 +1,39 @@
+// ASCII/CSV table rendering for the benchmark harness (one table per
+// paper figure).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mac3d {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers.
+  static std::string fmt(double value, int precision = 2);
+  static std::string pct(double fraction, int precision = 2);  ///< 0.5 -> "50.00%"
+  static std::string count(std::uint64_t value);  ///< 1234567 -> "1,234,567"
+  static std::string bytes(std::uint64_t value);  ///< human-readable units
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+  void print() const;  ///< to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a "=== Figure N: title ===" banner.
+void print_banner(const std::string& title);
+
+/// Print a paper-vs-measured comparison line.
+void print_reference(const std::string& what, const std::string& paper,
+                     const std::string& measured);
+
+}  // namespace mac3d

@@ -1,0 +1,46 @@
+// Bump allocator for laying out workload data structures in the physical
+// address space of the 3D-stacked memory (one per node). Replaces the
+// paper's use of the Spike simulator's physical memory map.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/bitutil.hpp"
+#include "common/types.hpp"
+
+namespace mac3d {
+
+class AddressSpace {
+ public:
+  /// `capacity`: bytes available; `base`: first usable address
+  /// (node_id * node_span for NUMA layouts).
+  explicit AddressSpace(std::uint64_t capacity, Address base = 0)
+      : base_(base), capacity_(capacity), next_(base) {}
+
+  /// Allocate `bytes` aligned to `align` (power of two). Throws when the
+  /// workload footprint would exceed the device capacity.
+  Address alloc(std::uint64_t bytes, std::uint64_t align = 64) {
+    next_ = align_up(next_, align);
+    if (next_ + bytes > base_ + capacity_) {
+      throw std::runtime_error(
+          "AddressSpace: workload footprint exceeds memory capacity (" +
+          std::to_string(bytes) + " B requested)");
+    }
+    const Address out = next_;
+    next_ += bytes;
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t used() const noexcept { return next_ - base_; }
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] Address base() const noexcept { return base_; }
+
+ private:
+  Address base_;
+  std::uint64_t capacity_;
+  Address next_;
+};
+
+}  // namespace mac3d

@@ -1,0 +1,90 @@
+#include "trace/analyzer.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mem/address_map.hpp"
+
+namespace mac3d {
+
+void TraceProfile::collect(StatSet& out, const std::string& prefix) const {
+  out.set(prefix + ".records", static_cast<double>(records));
+  out.set(prefix + ".loads", static_cast<double>(loads));
+  out.set(prefix + ".stores", static_cast<double>(stores));
+  out.set(prefix + ".atomics", static_cast<double>(atomics));
+  out.set(prefix + ".fences", static_cast<double>(fences));
+  out.set(prefix + ".distinct_rows", static_cast<double>(distinct_rows));
+  out.set(prefix + ".ideal_coalescing", ideal_coalescing);
+  out.set(prefix + ".mean_flits_per_group", mean_flits_per_group);
+  out.set(prefix + ".read_fraction", read_fraction);
+}
+
+TraceProfile analyze(const MemoryTrace& trace, const SimConfig& config,
+                     std::uint32_t threads, std::uint32_t window) {
+  if (window == 0) window = config.arq_entries;
+  const AddressMap map(config);
+  TraceProfile profile;
+
+  std::unordered_set<std::uint64_t> global_rows;
+  InterleavedStream stream(trace, threads, config.cores);
+
+  // Per-window bookkeeping: row|type -> distinct FLIT set size.
+  std::unordered_map<std::uint64_t, std::uint64_t> groups;  // key -> flitmask
+  std::uint64_t window_fill = 0;
+  std::uint64_t total_groups = 0;
+  std::uint64_t total_flits_in_groups = 0;
+  std::uint64_t coalescable = 0;
+
+  auto flush_window = [&] {
+    if (groups.empty()) return;
+    profile.footprint_rows.add(static_cast<double>(groups.size()));
+    for (const auto& [key, mask] : groups) {
+      (void)key;
+      ++total_groups;
+      total_flits_in_groups += popcount64(mask);
+    }
+    groups.clear();
+    window_fill = 0;
+  };
+
+  while (!stream.done()) {
+    const RawRequest request = stream.next();
+    ++profile.records;
+    switch (request.op) {
+      case MemOp::kLoad: ++profile.loads; break;
+      case MemOp::kStore: ++profile.stores; break;
+      case MemOp::kAtomic: ++profile.atomics; break;
+      case MemOp::kFence: ++profile.fences; break;
+    }
+    if (!is_coalescable(request.op)) {
+      if (request.op == MemOp::kFence) flush_window();  // fences split windows
+      continue;
+    }
+    ++coalescable;
+    const Address local = map.local_addr(request.addr);
+    const std::uint64_t row = map.row_of(local);
+    global_rows.insert(row);
+    const std::uint64_t key =
+        (row << 1) | (request.op == MemOp::kStore ? 1u : 0u);
+    groups[key] |= std::uint64_t{1} << map.flit_of(local);
+    if (++window_fill >= window) flush_window();
+  }
+  flush_window();
+
+  profile.distinct_rows = global_rows.size();
+  if (coalescable > 0 && total_groups > 0) {
+    profile.ideal_coalescing =
+        1.0 - static_cast<double>(total_groups) /
+                  static_cast<double>(coalescable);
+    profile.mean_flits_per_group =
+        static_cast<double>(total_flits_in_groups) /
+        static_cast<double>(total_groups);
+  }
+  const std::uint64_t rw = profile.loads + profile.stores;
+  profile.read_fraction =
+      rw == 0 ? 0.0
+              : static_cast<double>(profile.loads) / static_cast<double>(rw);
+  return profile;
+}
+
+}  // namespace mac3d

@@ -1,0 +1,41 @@
+// Trace analyzer (paper Sec. 5.1): inspects a memory instruction stream and
+// derives the HMC-level characteristics that drive coalescing — row
+// locality within an ARQ-sized window, FLIT distribution, read/write mix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace mac3d {
+
+struct TraceProfile {
+  std::uint64_t records = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t fences = 0;
+  std::uint64_t distinct_rows = 0;
+  /// Upper bound on coalescing: 1 - (row-groups / requests) computed over
+  /// sliding windows of `window` interleaved requests (an ideal coalescer
+  /// with `window` entries).
+  double ideal_coalescing = 0.0;
+  /// Mean distinct FLITs per row-group within the window.
+  double mean_flits_per_group = 0.0;
+  double read_fraction = 0.0;
+  RunningStat footprint_rows;  ///< distinct rows per window
+
+  void collect(StatSet& out, const std::string& prefix) const;
+};
+
+/// Analyze the stream as the MAC would see it (threads interleaved
+/// round-robin). `window` models the ARQ reach (default: arq_entries).
+[[nodiscard]] TraceProfile analyze(const MemoryTrace& trace,
+                                   const SimConfig& config,
+                                   std::uint32_t threads,
+                                   std::uint32_t window = 0);
+
+}  // namespace mac3d

@@ -1,0 +1,30 @@
+// A single traced memory instruction (the unit produced by workloads and
+// consumed by the simulation drivers).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mac3d {
+
+/// Core cycles charged per SPM access in record gaps (~1 ns at 3.3 GHz,
+/// Table 1's average SPM access latency).
+inline constexpr std::uint32_t kSpmGapCycles = 3;
+
+struct MemRecord {
+  Address addr = 0;
+  MemOp op = MemOp::kLoad;
+  std::uint8_t size = 8;  ///< bytes; records never straddle a FLIT
+  /// Core cycles of non-memory work (compute instructions at IPC 1, SPM
+  /// accesses at SPM latency) between the previous memory operation of
+  /// this thread and this one — what the closed-loop driver charges
+  /// before the core may issue this record.
+  std::uint16_t gap = 0;
+
+  friend bool operator==(const MemRecord&, const MemRecord&) = default;
+};
+
+static_assert(sizeof(MemRecord) <= 16, "MemRecord should stay compact");
+
+}  // namespace mac3d

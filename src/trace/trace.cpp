@@ -1,0 +1,190 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace mac3d {
+
+MemoryTrace::MemoryTrace(std::uint32_t threads)
+    : per_thread_(threads),
+      instr_count_(threads, 0),
+      spm_count_(threads, 0),
+      pending_gap_(threads, 0) {
+  if (threads == 0) throw std::invalid_argument("MemoryTrace: 0 threads");
+}
+
+std::uint16_t MemoryTrace::take_gap(ThreadId tid) {
+  const std::uint64_t gap = pending_gap_.at(tid);
+  pending_gap_[tid] = 0;
+  return static_cast<std::uint16_t>(gap > 0xFFFF ? 0xFFFF : gap);
+}
+
+void MemoryTrace::push(ThreadId tid, MemRecord record) {
+  record.gap = take_gap(tid);
+  // Records must be FLIT-granular for the MAC (Sec. 4.1). Split any access
+  // that straddles a FLIT boundary, as a hardware load/store unit would
+  // split an unaligned access across bus beats.
+  const Address first_flit = record.addr / kFlitBytes;
+  const Address last_flit = (record.addr + record.size - 1) / kFlitBytes;
+  if (first_flit == last_flit) {
+    per_thread_.at(tid).push_back(record);
+    instr_count_.at(tid) += 1;
+    return;
+  }
+  const Address boundary = (first_flit + 1) * kFlitBytes;
+  MemRecord lo = record;
+  lo.size = static_cast<std::uint8_t>(boundary - record.addr);
+  MemRecord hi = record;
+  hi.addr = boundary;
+  hi.size = static_cast<std::uint8_t>(record.addr + record.size - boundary);
+  hi.gap = 0;  // back-to-back bus beats of one instruction
+  per_thread_.at(tid).push_back(lo);
+  per_thread_.at(tid).push_back(hi);
+  instr_count_.at(tid) += 1;  // one instruction, two bus-level records
+}
+
+void MemoryTrace::instr(ThreadId tid, std::uint64_t count) {
+  instr_count_.at(tid) += count;
+  pending_gap_.at(tid) += count;  // IPC 1 in-order cores
+}
+
+void MemoryTrace::load(ThreadId tid, Address addr, std::uint8_t size) {
+  push(tid, MemRecord{addr, MemOp::kLoad, size});
+}
+
+void MemoryTrace::store(ThreadId tid, Address addr, std::uint8_t size) {
+  push(tid, MemRecord{addr, MemOp::kStore, size});
+}
+
+void MemoryTrace::atomic(ThreadId tid, Address addr, std::uint8_t size) {
+  assert(addr % size == 0 && "atomics must be naturally aligned");
+  per_thread_.at(tid).push_back(
+      MemRecord{addr, MemOp::kAtomic, size, take_gap(tid)});
+  instr_count_.at(tid) += 1;
+}
+
+void MemoryTrace::fence(ThreadId tid) {
+  per_thread_.at(tid).push_back(MemRecord{0, MemOp::kFence, 0, take_gap(tid)});
+  instr_count_.at(tid) += 1;
+}
+
+void MemoryTrace::spm_load(ThreadId tid, std::uint64_t count) {
+  spm_count_.at(tid) += count;
+  instr_count_.at(tid) += count;
+  pending_gap_.at(tid) += count * kSpmGapCycles;
+}
+
+void MemoryTrace::spm_store(ThreadId tid, std::uint64_t count) {
+  spm_count_.at(tid) += count;
+  instr_count_.at(tid) += count;
+  pending_gap_.at(tid) += count * kSpmGapCycles;
+}
+
+std::uint64_t MemoryTrace::size() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& thread : per_thread_) total += thread.size();
+  return total;
+}
+
+std::uint64_t MemoryTrace::instructions() const noexcept {
+  return std::accumulate(instr_count_.begin(), instr_count_.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t MemoryTrace::memory_refs() const noexcept {
+  return main_memory_refs() + spm_refs();
+}
+
+std::uint64_t MemoryTrace::main_memory_refs() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& thread : per_thread_) {
+    for (const MemRecord& record : thread) {
+      total += record.op != MemOp::kFence ? 1 : 0;
+    }
+  }
+  return total;
+}
+
+std::uint64_t MemoryTrace::spm_refs() const noexcept {
+  return std::accumulate(spm_count_.begin(), spm_count_.end(),
+                         std::uint64_t{0});
+}
+
+double MemoryTrace::requests_per_instruction() const noexcept {
+  const std::uint64_t instrs = instructions();
+  return instrs == 0 ? 0.0
+                     : static_cast<double>(memory_refs()) /
+                           static_cast<double>(instrs);
+}
+
+double MemoryTrace::mem_access_rate() const noexcept {
+  const std::uint64_t refs = memory_refs();
+  return refs == 0 ? 0.0
+                   : static_cast<double>(main_memory_refs()) /
+                         static_cast<double>(refs);
+}
+
+void MemoryTrace::clear() {
+  for (auto& thread : per_thread_) thread.clear();
+  std::fill(instr_count_.begin(), instr_count_.end(), 0);
+  std::fill(spm_count_.begin(), spm_count_.end(), 0);
+  std::fill(pending_gap_.begin(), pending_gap_.end(), 0);
+}
+
+void MemoryTrace::append(ThreadId tid, const MemRecord& record) {
+  per_thread_.at(tid).push_back(record);
+  instr_count_.at(tid) += 1;
+}
+
+InterleavedStream::InterleavedStream(const MemoryTrace& trace,
+                                     std::uint32_t threads,
+                                     std::uint32_t cores, NodeId node)
+    : trace_(trace),
+      threads_(std::min(threads, trace.threads())),
+      cores_(cores),
+      node_(node),
+      cursor_(threads_, 0),
+      next_tag_(threads_, 0) {
+  if (threads_ == 0 || cores_ == 0) {
+    throw std::invalid_argument("InterleavedStream: 0 threads or cores");
+  }
+  for (std::uint32_t t = 0; t < threads_; ++t) {
+    remaining_ += trace_.thread(static_cast<ThreadId>(t)).size();
+  }
+}
+
+RawRequest InterleavedStream::next() {
+  assert(!done());
+  // Round-robin: advance to the next thread with records left.
+  while (cursor_[turn_] >= trace_.thread(static_cast<ThreadId>(turn_)).size()) {
+    turn_ = (turn_ + 1) % threads_;
+  }
+  const ThreadId tid = static_cast<ThreadId>(turn_);
+  const MemRecord& record = trace_.thread(tid)[cursor_[turn_]++];
+  turn_ = (turn_ + 1) % threads_;
+  --remaining_;
+
+  RawRequest request;
+  request.addr = record.addr;
+  request.op = record.op;
+  request.size = record.size;
+  request.tid = tid;
+  request.tag = next_tag_[tid]++;
+  request.core = static_cast<CoreId>(tid % cores_);
+  request.node = node_;
+  return request;
+}
+
+void InterleavedStream::reset() {
+  std::fill(cursor_.begin(), cursor_.end(), 0);
+  std::fill(next_tag_.begin(), next_tag_.end(), Tag{0});
+  turn_ = 0;
+  remaining_ = 0;
+  for (std::uint32_t t = 0; t < threads_; ++t) {
+    remaining_ += trace_.thread(static_cast<ThreadId>(t)).size();
+  }
+}
+
+}  // namespace mac3d

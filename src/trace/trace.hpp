@@ -1,0 +1,113 @@
+// Per-thread memory instruction trace plus the instruction/SPM counters
+// needed for the paper's Eq. 2 (requests per cycle).
+//
+// This is the reproduction's substitute for the paper's modified RISC-V
+// Spike tracer: workloads execute natively and record the memory
+// operations that would reach the MAC, tagging each with its thread.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/record.hpp"
+
+namespace mac3d {
+
+/// Sink interface workloads emit into.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// `count` non-memory instructions retired by thread `tid`.
+  virtual void instr(ThreadId tid, std::uint64_t count = 1) = 0;
+  /// Main-memory operations (these reach the MAC).
+  virtual void load(ThreadId tid, Address addr, std::uint8_t size = 8) = 0;
+  virtual void store(ThreadId tid, Address addr, std::uint8_t size = 8) = 0;
+  virtual void atomic(ThreadId tid, Address addr, std::uint8_t size = 8) = 0;
+  virtual void fence(ThreadId tid) = 0;
+  /// Memory operations satisfied by the core's scratchpad (SPM); they are
+  /// counted (for Eq. 2's mem_access_rate) but never reach the MAC.
+  virtual void spm_load(ThreadId tid, std::uint64_t count = 1) = 0;
+  virtual void spm_store(ThreadId tid, std::uint64_t count = 1) = 0;
+};
+
+/// Materialized trace: per-thread record vectors + counters.
+class MemoryTrace final : public TraceSink {
+ public:
+  explicit MemoryTrace(std::uint32_t threads);
+
+  void instr(ThreadId tid, std::uint64_t count = 1) override;
+  void load(ThreadId tid, Address addr, std::uint8_t size = 8) override;
+  void store(ThreadId tid, Address addr, std::uint8_t size = 8) override;
+  void atomic(ThreadId tid, Address addr, std::uint8_t size = 8) override;
+  void fence(ThreadId tid) override;
+  void spm_load(ThreadId tid, std::uint64_t count = 1) override;
+  void spm_store(ThreadId tid, std::uint64_t count = 1) override;
+
+  [[nodiscard]] std::uint32_t threads() const noexcept {
+    return static_cast<std::uint32_t>(per_thread_.size());
+  }
+  [[nodiscard]] const std::vector<MemRecord>& thread(ThreadId tid) const {
+    return per_thread_.at(tid);
+  }
+  /// Total traced main-memory records across all threads.
+  [[nodiscard]] std::uint64_t size() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Total instructions (compute + memory) across threads.
+  [[nodiscard]] std::uint64_t instructions() const noexcept;
+  /// Memory references of any kind (main memory + SPM).
+  [[nodiscard]] std::uint64_t memory_refs() const noexcept;
+  /// Main-memory references only (what reaches the MAC).
+  [[nodiscard]] std::uint64_t main_memory_refs() const noexcept;
+  [[nodiscard]] std::uint64_t spm_refs() const noexcept;
+
+  /// Eq. 2 ingredients.
+  [[nodiscard]] double requests_per_instruction() const noexcept;
+  [[nodiscard]] double mem_access_rate() const noexcept;  ///< main / all refs
+
+  void clear();
+
+  /// Direct append (trace replay / IO path).
+  void append(ThreadId tid, const MemRecord& record);
+
+ private:
+  void push(ThreadId tid, MemRecord record);
+  /// Consume the accumulated compute/SPM gap for `tid` (saturating u16).
+  [[nodiscard]] std::uint16_t take_gap(ThreadId tid);
+
+  std::vector<std::vector<MemRecord>> per_thread_;
+  std::vector<std::uint64_t> instr_count_;
+  std::vector<std::uint64_t> spm_count_;
+  std::vector<std::uint64_t> pending_gap_;  ///< cycles since last mem op
+};
+
+/// Round-robin interleave of a trace's threads into the single raw-request
+/// stream a node's cores would present to the MAC. Assigns per-thread tags
+/// (wrapping at 16 bits as in the paper's 2 B tag field) and maps threads
+/// onto cores.
+class InterleavedStream {
+ public:
+  /// Use `threads` <= trace.threads() streams; `cores` for the core field.
+  InterleavedStream(const MemoryTrace& trace, std::uint32_t threads,
+                    std::uint32_t cores, NodeId node = 0);
+
+  [[nodiscard]] bool done() const noexcept { return remaining_ == 0; }
+  [[nodiscard]] std::uint64_t remaining() const noexcept { return remaining_; }
+  RawRequest next();
+
+  void reset();
+
+ private:
+  const MemoryTrace& trace_;
+  std::uint32_t threads_;
+  std::uint32_t cores_;
+  NodeId node_;
+  std::vector<std::size_t> cursor_;
+  std::vector<Tag> next_tag_;
+  std::uint32_t turn_ = 0;
+  std::uint64_t remaining_ = 0;
+};
+
+}  // namespace mac3d

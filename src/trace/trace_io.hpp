@@ -1,0 +1,24 @@
+// Binary trace file format (save once, replay through multiple memory
+// paths — see examples/trace_replay).
+//
+// Layout (little endian):
+//   magic   "MAC3DTRC"            8 B
+//   version u32                   (currently 1)
+//   threads u32
+//   per thread: count u64, then count * {addr u64, op u8, size u8, pad u16,
+//                                        pad u32}
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace mac3d {
+
+/// Throws std::runtime_error on IO failure.
+void save_trace(const MemoryTrace& trace, const std::string& path);
+
+/// Throws std::runtime_error on IO failure or format mismatch.
+[[nodiscard]] MemoryTrace load_trace(const std::string& path);
+
+}  // namespace mac3d

@@ -1,0 +1,23 @@
+// Factory declarations for the twelve evaluation workloads (paper Sec. 5.2,
+// in the order the figures list them). Each returns a process-lifetime
+// singleton.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace mac3d {
+
+const Workload* sg_workload();         // Scatter/Gather
+const Workload* hpcg_workload();       // High Performance Conjugate Gradient
+const Workload* ssca2_workload();      // HPCS SSCA#2 graph analysis
+const Workload* grappolo_workload();   // Louvain community detection
+const Workload* gap_bfs_workload();    // GAP breadth-first search
+const Workload* gap_pr_workload();     // GAP PageRank
+const Workload* gap_cc_workload();     // GAP connected components
+const Workload* nqueens_workload();    // BOTS NQueens
+const Workload* sparselu_workload();   // BOTS SparseLU
+const Workload* sort_workload();       // BOTS mergesort
+const Workload* mg_workload();         // NAS MG (multigrid)
+const Workload* sp_workload();         // NAS SP (scalar pentadiagonal)
+
+}  // namespace mac3d

@@ -1,0 +1,85 @@
+// BOTS NQueens — task-parallel backtracking search (Sec. 5.2). The board
+// and recursion stack are thread-private and live in the SPM; main memory
+// sees the task deque (work stealing), periodic partial-board spills, and
+// sequential solution stores. NQueens is compute-bound: its
+// mem_access_rate is the lowest of the suite (cf. Fig. 9), but the traffic
+// it does generate is store-heavy and streams well.
+#include "workloads/all.hpp"
+#include "workloads/detail.hpp"
+
+namespace mac3d {
+namespace {
+
+using detail::ArrayRef;
+
+class NQueensWorkload final : public Workload {
+ public:
+  std::string name() const override { return "nqueens"; }
+  std::string description() const override {
+    return "BOTS NQueens: backtracking search, SPM board, spilled tasks";
+  }
+
+  void generate(TraceSink& sink, const WorkloadParams& params) const override {
+    const std::uint32_t n = 10;  // board size: fixed problem, scaled budget
+    const std::uint64_t node_budget =
+        params.scaled(60000, 1024);  // search nodes per thread
+
+    AddressSpace space(params.config.hmc_capacity);
+    const ArrayRef task_deque{space.alloc((1u << 20) * 8), 8};
+    const ArrayRef solutions{space.alloc((1u << 22) * 8), 8};
+
+    for (std::uint32_t t = 0; t < params.threads; ++t) {
+      const auto tid = static_cast<ThreadId>(t);
+      Xoshiro256 rng(params.seed * 31 + t);
+      std::uint64_t solution_slot = t * (1u << 18);
+      std::uint64_t deque_slot = t * (1u << 16);
+
+      // Each thread explores a distinct first-row subtree.
+      std::uint64_t explored = 0;
+      std::uint32_t depth = 1;
+      while (explored < node_budget) {
+        ++explored;
+        // Board update + conflict checks against all placed queens:
+        // SPM reads of the column/diagonal masks, plus ALU work.
+        sink.spm_load(tid, depth);
+        sink.instr(tid, 3 * depth);
+
+        const bool feasible = rng.uniform() < 0.55;
+        if (feasible && depth < n) {
+          ++depth;
+          sink.spm_store(tid, 1);  // push placement
+          // Deep tasks get spilled to the shared deque occasionally.
+          if ((explored & 63u) == 0) {
+            detail::emit_store(sink, tid, task_deque, deque_slot++);
+            detail::emit_store(sink, tid, task_deque, deque_slot++);
+          }
+        } else if (feasible && depth == n) {
+          // Complete placement: append the solution vector (sequential).
+          for (std::uint32_t q = 0; q < n; ++q) {
+            detail::emit_store(sink, tid, solutions, solution_slot++);
+          }
+          sink.spm_store(tid, 1);
+          depth = depth > 2 ? depth - rng.below(2) - 1 : 1;
+        } else {
+          // Backtrack; occasionally steal a spilled task.
+          sink.spm_store(tid, 1);
+          depth = depth > 2 ? depth - 1 : 1;
+          if ((explored & 255u) == 0 && deque_slot > 2) {
+            detail::emit_load(sink, tid, task_deque, deque_slot - 1);
+            detail::emit_load(sink, tid, task_deque, deque_slot - 2);
+          }
+        }
+      }
+      sink.fence(tid);
+    }
+  }
+};
+
+}  // namespace
+
+const Workload* nqueens_workload() {
+  static const NQueensWorkload instance;
+  return &instance;
+}
+
+}  // namespace mac3d

@@ -1,0 +1,94 @@
+// BOTS Sort — task-parallel mergesort (Sec. 5.2). Each thread first sorts
+// its chunk in the scratchpad (cache-oblivious base case: pure SPM + ALU
+// work), then the chunks are merged in two parallel passes over main
+// memory: long unit-stride reads of two runs and a unit-stride store of
+// the merged run. Almost every access is sequential, so Sort coalesces
+// close to the FLIT-map limit.
+#include "workloads/all.hpp"
+#include "workloads/detail.hpp"
+
+namespace mac3d {
+namespace {
+
+using detail::ArrayRef;
+
+class SortWorkload final : public Workload {
+ public:
+  std::string name() const override { return "sort"; }
+  std::string description() const override {
+    return "BOTS Sort: parallel mergesort, SPM base case + merge passes";
+  }
+
+  void generate(TraceSink& sink, const WorkloadParams& params) const override {
+    const std::uint64_t per_thread = params.scaled(20000, 512);
+    const std::uint64_t n = per_thread * params.threads;
+
+    AddressSpace space(params.config.hmc_capacity);
+    const ArrayRef data{space.alloc(n * 8), 8};
+    const ArrayRef scratch{space.alloc(n * 8), 8};
+
+    for (std::uint32_t t = 0; t < params.threads; ++t) {
+      const auto tid = static_cast<ThreadId>(t);
+      Xoshiro256 rng(params.seed * 131 + t);
+      const std::uint64_t begin = t * per_thread;
+
+      // Base case: load the chunk, sort it in the SPM, store it back.
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        detail::emit_load(sink, tid, data, begin + i);
+      }
+      // ~n log n comparisons entirely inside the scratchpad.
+      const auto log_n = static_cast<std::uint64_t>(15);
+      sink.spm_load(tid, per_thread * log_n / 4);
+      sink.spm_store(tid, per_thread * log_n / 4);
+      sink.instr(tid, per_thread * log_n / 2);
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        detail::emit_store(sink, tid, data, begin + i);
+      }
+      sink.fence(tid);
+
+      // Merge pass 1: merge this chunk with its partner's into scratch.
+      const std::uint64_t partner =
+          (t ^ 1u) < params.threads ? (t ^ 1u) : t;
+      std::uint64_t left = begin;
+      std::uint64_t right = partner * per_thread;
+      std::uint64_t out = begin;
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        // Data-dependent advance, but both runs stream sequentially.
+        if (rng.uniform() < 0.5) {
+          detail::emit_load(sink, tid, data, left++);
+        } else {
+          detail::emit_load(sink, tid, data, right++);
+        }
+        detail::emit_store(sink, tid, scratch, out++);
+        sink.instr(tid, 6);  // compare + select + bounds
+      }
+      sink.fence(tid);
+
+      // Merge pass 2: copy back with a strided partner (tree level 2).
+      const std::uint64_t partner2 =
+          (t ^ 2u) < params.threads ? (t ^ 2u) : t;
+      left = begin;
+      right = partner2 * per_thread;
+      out = begin;
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        if (rng.uniform() < 0.5) {
+          detail::emit_load(sink, tid, scratch, left++);
+        } else {
+          detail::emit_load(sink, tid, scratch, right++);
+        }
+        detail::emit_store(sink, tid, data, out++);
+        sink.instr(tid, 6);
+      }
+      sink.fence(tid);
+    }
+  }
+};
+
+}  // namespace
+
+const Workload* sort_workload() {
+  static const SortWorkload instance;
+  return &instance;
+}
+
+}  // namespace mac3d

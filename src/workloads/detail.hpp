@@ -1,0 +1,52 @@
+// Shared helpers for workload kernels.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+
+namespace mac3d::detail {
+
+/// Typed view of an array laid out in the simulated address space.
+struct ArrayRef {
+  Address base = 0;
+  std::uint32_t elem_bytes = 8;
+
+  [[nodiscard]] Address at(std::uint64_t i) const noexcept {
+    return base + i * elem_bytes;
+  }
+  [[nodiscard]] std::uint8_t size() const noexcept {
+    return static_cast<std::uint8_t>(elem_bytes);
+  }
+};
+
+/// Contiguous [begin, end) share of `total` items for thread `tid` of `nt`.
+struct Share {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return end - begin; }
+};
+
+[[nodiscard]] inline Share share_of(std::uint64_t total, std::uint32_t tid,
+                                    std::uint32_t threads) noexcept {
+  const std::uint64_t chunk = total / threads;
+  const std::uint64_t extra = total % threads;
+  Share s;
+  s.begin = tid * chunk + (tid < extra ? tid : extra);
+  s.end = s.begin + chunk + (tid < extra ? 1 : 0);
+  return s;
+}
+
+inline void emit_load(TraceSink& sink, ThreadId tid, const ArrayRef& array,
+                      std::uint64_t i) {
+  sink.load(tid, array.at(i), array.size());
+}
+
+inline void emit_store(TraceSink& sink, ThreadId tid, const ArrayRef& array,
+                       std::uint64_t i) {
+  sink.store(tid, array.at(i), array.size());
+}
+
+}  // namespace mac3d::detail

@@ -1,0 +1,88 @@
+// GAP BFS — top-down breadth-first search with a shared frontier queue
+// (Beamer's GAP benchmark suite, Sec. 5.2). Per frontier vertex: read its
+// CSR adjacency run (sequential), probe parent[] for each neighbour
+// (random), claim unvisited neighbours and append them to the next
+// frontier (sequential stores).
+#include <vector>
+
+#include "workloads/all.hpp"
+#include "workloads/detail.hpp"
+#include "workloads/graph_gen.hpp"
+
+namespace mac3d {
+namespace {
+
+using detail::ArrayRef;
+
+class GapBfsWorkload final : public Workload {
+ public:
+  std::string name() const override { return "bfs"; }
+  std::string description() const override {
+    return "GAP BFS: top-down frontier traversal of an R-MAT graph";
+  }
+
+  void generate(TraceSink& sink, const WorkloadParams& params) const override {
+    const auto scale_log2 = static_cast<std::uint32_t>(
+        13 + (params.scale >= 4.0 ? 2 : params.scale >= 2.0 ? 1 : 0));
+    const CsrGraph graph = make_rmat_graph(scale_log2, 6, params.seed + 2);
+    const std::uint64_t vertices = graph.num_vertices;
+    const std::uint64_t edges = graph.num_edges();
+
+    AddressSpace space(params.config.hmc_capacity);
+    const ArrayRef offsets{space.alloc((vertices + 1) * 8), 8};
+    const ArrayRef targets{space.alloc(edges * 4), 4};
+    const ArrayRef parent{space.alloc(vertices * 8), 8};
+    const ArrayRef frontier{space.alloc(vertices * 8), 8};
+
+    // Run the actual BFS to know who claims whom; emit the trace as the
+    // parallel sweep over each level's frontier would execute it.
+    std::vector<std::int64_t> par(vertices, -1);
+    std::vector<std::uint32_t> current;
+    std::vector<std::uint32_t> next;
+    const std::uint32_t root = 1;  // deterministic, R-MAT hubs are low ids
+    par[root] = root;
+    current.push_back(root);
+
+    std::vector<std::uint64_t> next_slot(params.threads, 0);
+    while (!current.empty()) {
+      next.clear();
+      for (std::size_t f = 0; f < current.size(); ++f) {
+        // The frontier is processed in parallel, chunked round-robin.
+        const auto tid =
+            static_cast<ThreadId>(f % params.threads);
+        const std::uint32_t v = current[f];
+        detail::emit_load(sink, tid, frontier, f);      // dequeue
+        detail::emit_load(sink, tid, offsets, v);
+        detail::emit_load(sink, tid, offsets, v + 1);
+        const std::uint64_t base = graph.offsets[v];
+        const std::uint64_t deg = graph.degree(v);
+        for (std::uint64_t d = 0; d < deg; ++d) {
+          detail::emit_load(sink, tid, targets, base + d);
+          const std::uint32_t u = graph.targets[base + d];
+          detail::emit_load(sink, tid, parent, u);       // visited probe
+          sink.instr(tid, 5);
+          if (par[u] == -1) {
+            par[u] = v;
+            detail::emit_store(sink, tid, parent, u);    // claim
+            detail::emit_store(sink, tid, frontier,
+                               next_slot[tid]++ % vertices);  // enqueue
+            next.push_back(u);
+          }
+        }
+      }
+      for (std::uint32_t t = 0; t < params.threads; ++t) {
+        sink.fence(static_cast<ThreadId>(t));  // level barrier
+      }
+      current.swap(next);
+    }
+  }
+};
+
+}  // namespace
+
+const Workload* gap_bfs_workload() {
+  static const GapBfsWorkload instance;
+  return &instance;
+}
+
+}  // namespace mac3d

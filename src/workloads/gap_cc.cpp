@@ -1,0 +1,95 @@
+// GAP Connected Components — Shiloach-Vishkin label propagation
+// (Sec. 5.2): repeated sweeps over the undirected edge list (sequential
+// 8 B reads) hooking labels (random reads + compare-and-swap atomics on
+// the component array) until no label changes.
+#include <vector>
+
+#include "workloads/all.hpp"
+#include "workloads/detail.hpp"
+#include "workloads/graph_gen.hpp"
+
+namespace mac3d {
+namespace {
+
+using detail::ArrayRef;
+
+class GapCcWorkload final : public Workload {
+ public:
+  std::string name() const override { return "cc"; }
+  std::string description() const override {
+    return "GAP CC: Shiloach-Vishkin hooking over an edge list";
+  }
+
+  void generate(TraceSink& sink, const WorkloadParams& params) const override {
+    const auto scale_log2 = static_cast<std::uint32_t>(
+        13 + (params.scale >= 4.0 ? 2 : params.scale >= 2.0 ? 1 : 0));
+    const CsrGraph graph = make_uniform_graph(std::uint64_t{1} << scale_log2,
+                                              4, params.seed + 4);
+    const auto edges = edge_list_of(graph);
+    const std::uint64_t vertices = graph.num_vertices;
+
+    AddressSpace space(params.config.hmc_capacity);
+    const ArrayRef edge_u{space.alloc(edges.size() * 8), 8};
+    const ArrayRef edge_v{space.alloc(edges.size() * 8), 8};
+    const ArrayRef comp{space.alloc(vertices * 8), 8};
+
+    // Execute SV to know which hooks actually fire each round.
+    std::vector<std::uint32_t> label(vertices);
+    for (std::uint64_t v = 0; v < vertices; ++v) {
+      label[v] = static_cast<std::uint32_t>(v);
+    }
+
+    const std::uint64_t max_rounds = params.scaled(2, 1);
+    for (std::uint64_t round = 0; round < max_rounds; ++round) {
+      bool changed = false;
+      for (std::uint32_t t = 0; t < params.threads; ++t) {
+        const auto tid = static_cast<ThreadId>(t);
+        // Edges are distributed cyclically: the edge-array streams are
+        // shared across threads within the ARQ window.
+        for (std::uint64_t e = t; e < edges.size(); e += params.threads) {
+          const auto [u, v] = edges[e];
+          detail::emit_load(sink, tid, edge_u, e);   // edge endpoints:
+          detail::emit_load(sink, tid, edge_v, e);   // sequential stream
+          detail::emit_load(sink, tid, comp, u);     // random label reads
+          detail::emit_load(sink, tid, comp, v);
+          sink.instr(tid, 6);
+          const std::uint32_t lu = label[u];
+          const std::uint32_t lv = label[v];
+          if (lu != lv) {
+            const std::uint32_t lo = lu < lv ? lu : lv;
+            const std::uint32_t hi = lu < lv ? v : u;
+            label[hi] = lo;
+            sink.atomic(tid, comp.at(hi), 8);  // CAS hook
+            changed = true;
+          }
+        }
+        sink.fence(tid);
+      }
+      // Pointer-jumping compression sweep (sequential read-modify-write).
+      for (std::uint32_t t = 0; t < params.threads; ++t) {
+        const auto tid = static_cast<ThreadId>(t);
+        for (std::uint64_t v = t; v < vertices; v += params.threads) {
+          detail::emit_load(sink, tid, comp, v);
+          const std::uint32_t l = label[v];
+          detail::emit_load(sink, tid, comp, l);  // grandparent chase
+          if (label[l] != l) {
+            label[v] = label[l];
+            detail::emit_store(sink, tid, comp, v);
+          }
+          sink.instr(tid, 5);
+        }
+        sink.fence(tid);
+      }
+      if (!changed) break;
+    }
+  }
+};
+
+}  // namespace
+
+const Workload* gap_cc_workload() {
+  static const GapCcWorkload instance;
+  return &instance;
+}
+
+}  // namespace mac3d

@@ -1,0 +1,77 @@
+// GAP PageRank — pull-style PR (Sec. 5.2): for every vertex, gather the
+// scaled ranks of its in-neighbours (random single-word reads into the
+// rank array, skew-clustered by R-MAT hubs) while streaming the CSR
+// arrays, then store the new rank sequentially.
+#include "workloads/all.hpp"
+#include "workloads/detail.hpp"
+#include "workloads/graph_gen.hpp"
+
+namespace mac3d {
+namespace {
+
+using detail::ArrayRef;
+
+class GapPrWorkload final : public Workload {
+ public:
+  std::string name() const override { return "pr"; }
+  std::string description() const override {
+    return "GAP PageRank: pull iteration over an R-MAT graph";
+  }
+
+  void generate(TraceSink& sink, const WorkloadParams& params) const override {
+    const auto scale_log2 = static_cast<std::uint32_t>(
+        13 + (params.scale >= 4.0 ? 2 : params.scale >= 2.0 ? 1 : 0));
+    const CsrGraph graph = make_rmat_graph(scale_log2, 6, params.seed + 3);
+    const std::uint64_t vertices = graph.num_vertices;
+    const std::uint64_t edges = graph.num_edges();
+
+    AddressSpace space(params.config.hmc_capacity);
+    const ArrayRef offsets{space.alloc((vertices + 1) * 8), 8};
+    const ArrayRef targets{space.alloc(edges * 4), 4};
+    const ArrayRef rank{space.alloc(vertices * 8), 8};
+    const ArrayRef rank_next{space.alloc(vertices * 8), 8};
+    const ArrayRef out_degree{space.alloc(vertices * 4), 4};
+
+    const std::uint64_t iterations = params.scaled(1, 1);
+    for (std::uint32_t t = 0; t < params.threads; ++t) {
+      const auto tid = static_cast<ThreadId>(t);
+      for (std::uint64_t it = 0; it < iterations; ++it) {
+        // Cyclic vertex distribution (GAP uses OpenMP dynamic scheduling):
+        // the CSR streams of adjacent vertices share DRAM rows.
+        for (std::uint64_t v = t; v < vertices; v += params.threads) {
+          detail::emit_load(sink, tid, offsets, v);
+          detail::emit_load(sink, tid, offsets, v + 1);
+          const std::uint64_t base = graph.offsets[v];
+          const std::uint64_t deg = graph.degree(v);
+          for (std::uint64_t d = 0; d < deg; ++d) {
+            detail::emit_load(sink, tid, targets, base + d);
+            const std::uint32_t u = graph.targets[base + d];
+            detail::emit_load(sink, tid, rank, u);        // gather rank
+            detail::emit_load(sink, tid, out_degree, u);  // normalize
+            sink.instr(tid, 4);  // fused divide-accumulate
+          }
+          detail::emit_store(sink, tid, rank_next, v);
+          sink.instr(tid, 6);  // damping, convergence accumulation
+        }
+        sink.fence(tid);
+        // Error-reduction pass: |rank_next - rank| streamed.
+        for (std::uint64_t v = t; v < vertices; v += params.threads) {
+          detail::emit_load(sink, tid, rank, v);
+          detail::emit_load(sink, tid, rank_next, v);
+          detail::emit_store(sink, tid, rank, v);  // swap-in
+          sink.instr(tid, 5);
+        }
+        sink.fence(tid);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const Workload* gap_pr_workload() {
+  static const GapPrWorkload instance;
+  return &instance;
+}
+
+}  // namespace mac3d

@@ -1,0 +1,106 @@
+#include "workloads/graph_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mac3d {
+namespace {
+
+CsrGraph build_csr(std::uint64_t vertices,
+                   std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                       edges) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  CsrGraph graph;
+  graph.num_vertices = vertices;
+  graph.offsets.assign(vertices + 1, 0);
+  for (const auto& [u, v] : edges) {
+    (void)v;
+    ++graph.offsets[u + 1];
+  }
+  for (std::uint64_t i = 0; i < vertices; ++i) {
+    graph.offsets[i + 1] += graph.offsets[i];
+  }
+  graph.targets.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    (void)u;
+    graph.targets.push_back(v);
+  }
+  return graph;
+}
+
+}  // namespace
+
+CsrGraph make_rmat_graph(std::uint32_t scale_log2, std::uint32_t avg_degree,
+                         std::uint64_t seed) {
+  if (scale_log2 == 0 || scale_log2 > 30) {
+    throw std::invalid_argument("make_rmat_graph: scale out of range");
+  }
+  const std::uint64_t vertices = std::uint64_t{1} << scale_log2;
+  const std::uint64_t edges = vertices * avg_degree;
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;  // d = 0.05
+
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> list;
+  list.reserve(edges);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    for (std::uint32_t bit = 0; bit < scale_log2; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < kA) {
+        // upper-left quadrant: no bits set
+      } else if (r < kA + kB) {
+        v |= 1;
+      } else if (r < kA + kB + kC) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;  // drop self loops
+    list.emplace_back(static_cast<std::uint32_t>(u),
+                      static_cast<std::uint32_t>(v));
+    list.emplace_back(static_cast<std::uint32_t>(v),
+                      static_cast<std::uint32_t>(u));
+  }
+  return build_csr(vertices, list);
+}
+
+CsrGraph make_uniform_graph(std::uint64_t vertices, std::uint32_t avg_degree,
+                            std::uint64_t seed) {
+  if (vertices < 2) {
+    throw std::invalid_argument("make_uniform_graph: need >= 2 vertices");
+  }
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> list;
+  const std::uint64_t edges = vertices * avg_degree;
+  list.reserve(edges * 2);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<std::uint32_t>(rng.below(vertices));
+    const auto v = static_cast<std::uint32_t>(rng.below(vertices));
+    if (u == v) continue;
+    list.emplace_back(u, v);
+    list.emplace_back(v, u);
+  }
+  return build_csr(vertices, list);
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_list_of(
+    const CsrGraph& graph) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(graph.num_edges() / 2);
+  for (std::uint64_t u = 0; u < graph.num_vertices; ++u) {
+    for (std::uint64_t i = graph.offsets[u]; i < graph.offsets[u + 1]; ++i) {
+      const std::uint32_t v = graph.targets[i];
+      if (u < v) edges.emplace_back(static_cast<std::uint32_t>(u), v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace mac3d

@@ -1,0 +1,42 @@
+// Deterministic synthetic graph generation (R-MAT and uniform) plus a CSR
+// representation — the substrate for the SSCA2, Grappolo and GAP workloads.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mac3d {
+
+/// Compressed sparse row graph over vertices [0, n).
+struct CsrGraph {
+  std::uint64_t num_vertices = 0;
+  std::vector<std::uint64_t> offsets;   ///< size n+1
+  std::vector<std::uint32_t> targets;   ///< size num_edges
+
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return targets.size();
+  }
+  [[nodiscard]] std::uint64_t degree(std::uint64_t v) const noexcept {
+    return offsets[v + 1] - offsets[v];
+  }
+};
+
+/// Kronecker/R-MAT edges (a=0.57, b=0.19, c=0.19, d=0.05 — the Graph500 /
+/// SSCA2 parameterization), deduplicated per source by construction order.
+[[nodiscard]] CsrGraph make_rmat_graph(std::uint32_t scale_log2,
+                                       std::uint32_t avg_degree,
+                                       std::uint64_t seed);
+
+/// Erdos-Renyi-style uniform random graph.
+[[nodiscard]] CsrGraph make_uniform_graph(std::uint64_t vertices,
+                                          std::uint32_t avg_degree,
+                                          std::uint64_t seed);
+
+/// Undirected edge list view (u < v) for label-propagation kernels.
+[[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+edge_list_of(const CsrGraph& graph);
+
+}  // namespace mac3d

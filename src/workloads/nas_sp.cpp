@@ -1,0 +1,95 @@
+// NAS SP — scalar pentadiagonal solver (Sec. 5.2). Each iteration runs
+// ADI line solves along the three axes of an n^3 grid: the x-sweep is
+// unit-stride (coalesces fully), the y-sweep strides by n and the z-sweep
+// by n^2 (each point of those sweeps touching a different DRAM row until
+// the next line wraps around). The axis mix puts SP in the upper-middle
+// of the paper's coalescing range (> 60% at 8 threads).
+#include <cmath>
+
+#include "workloads/all.hpp"
+#include "workloads/detail.hpp"
+
+namespace mac3d {
+namespace {
+
+using detail::ArrayRef;
+
+class SpWorkload final : public Workload {
+ public:
+  std::string name() const override { return "sp"; }
+  std::string description() const override {
+    return "NAS SP: ADI pentadiagonal line solves along x, y, z";
+  }
+
+  void generate(TraceSink& sink, const WorkloadParams& params) const override {
+    const auto base_edge =
+        static_cast<std::uint64_t>(20.0 * std::cbrt(params.scale));
+    const std::uint64_t e = base_edge < 8 ? 8 : base_edge;
+    const std::uint64_t points = e * e * e;
+
+    AddressSpace space(params.config.hmc_capacity);
+    const ArrayRef rhs{space.alloc(points * 8), 8};
+    const ArrayRef lhs{space.alloc(points * 5 * 8), 8};  // 5 diagonals
+    const ArrayRef u{space.alloc(points * 8), 8};
+
+    // Thomas-style forward elimination + back substitution along one line
+    // of `len` points with stride `stride`, starting at `base`.
+    auto line_solve = [&](ThreadId tid, std::uint64_t base,
+                          std::uint64_t stride, std::uint64_t len) {
+      for (std::uint64_t s = 0; s < len; ++s) {
+        const std::uint64_t p = base + s * stride;
+        detail::emit_load(sink, tid, lhs, p * 5);      // five coefficients:
+        detail::emit_load(sink, tid, lhs, p * 5 + 2);  // (two representative
+        detail::emit_load(sink, tid, lhs, p * 5 + 4);  //  reads per band)
+        detail::emit_load(sink, tid, rhs, p);
+        detail::emit_store(sink, tid, rhs, p);         // eliminate
+        sink.instr(tid, 10);
+      }
+      for (std::uint64_t s = len; s-- > 0;) {
+        const std::uint64_t p = base + s * stride;
+        detail::emit_load(sink, tid, rhs, p);
+        detail::emit_store(sink, tid, u, p);           // back-substitute
+        sink.instr(tid, 7);
+      }
+    };
+
+    const std::uint64_t iterations = params.scaled(1, 1);
+    for (std::uint64_t it = 0; it < iterations; ++it) {
+      // x-solve: lines are contiguous runs of e points.
+      for (std::uint32_t t = 0; t < params.threads; ++t) {
+        const auto tid = static_cast<ThreadId>(t);
+        for (std::uint64_t line = t; line < e * e; line += params.threads) {
+          line_solve(tid, line * e, 1, e);
+        }
+        sink.fence(tid);
+      }
+      // y-solve: stride e.
+      for (std::uint32_t t = 0; t < params.threads; ++t) {
+        const auto tid = static_cast<ThreadId>(t);
+        for (std::uint64_t line = t; line < e * e; line += params.threads) {
+          const std::uint64_t plane = line / e;
+          const std::uint64_t col = line % e;
+          line_solve(tid, plane * e * e + col, e, e);
+        }
+        sink.fence(tid);
+      }
+      // z-solve: stride e^2.
+      for (std::uint32_t t = 0; t < params.threads; ++t) {
+        const auto tid = static_cast<ThreadId>(t);
+        for (std::uint64_t line = t; line < e * e; line += params.threads) {
+          line_solve(tid, line, e * e, e);
+        }
+        sink.fence(tid);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const Workload* sp_workload() {
+  static const SpWorkload instance;
+  return &instance;
+}
+
+}  // namespace mac3d

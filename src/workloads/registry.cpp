@@ -1,0 +1,32 @@
+#include "workloads/all.hpp"
+#include "workloads/workload.hpp"
+
+namespace mac3d {
+
+const std::vector<const Workload*>& workload_registry() {
+  static const std::vector<const Workload*> registry = {
+      mg_workload(),       grappolo_workload(), sg_workload(),
+      sp_workload(),       sparselu_workload(), hpcg_workload(),
+      ssca2_workload(),    gap_bfs_workload(),  gap_pr_workload(),
+      gap_cc_workload(),   nqueens_workload(),  sort_workload(),
+  };
+  return registry;
+}
+
+const Workload* find_workload(const std::string& name) {
+  for (const Workload* workload : workload_registry()) {
+    if (workload->name() == name) return workload;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  names.reserve(workload_registry().size());
+  for (const Workload* workload : workload_registry()) {
+    names.push_back(workload->name());
+  }
+  return names;
+}
+
+}  // namespace mac3d

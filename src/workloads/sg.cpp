@@ -1,0 +1,89 @@
+// Scatter/Gather (SG) — the paper's canonical irregular kernel (Sec. 2.1),
+// after the SG benchmark's full pattern set: sequential copy, strided
+// sweep, random gather (A[i] = B[C[i]]) and random scatter
+// (B[C[i]] = A[i]). Iterations are distributed cyclically (OpenMP
+// schedule(static,1) — the decomposition the paper's Fig. 2 scenario
+// assumes): at any instant the eight threads touch neighbouring elements
+// of the A/C streams, which coalesce across threads, while the random
+// B accesses are single words with essentially no row reuse.
+#include "workloads/all.hpp"
+#include "workloads/detail.hpp"
+
+namespace mac3d {
+namespace {
+
+using detail::ArrayRef;
+
+class SgWorkload final : public Workload {
+ public:
+  std::string name() const override { return "sg"; }
+  std::string description() const override {
+    return "Scatter/Gather: copy, strided, random gather and scatter";
+  }
+
+  void generate(TraceSink& sink, const WorkloadParams& params) const override {
+    const std::uint64_t n = params.scaled(6144, 64) * params.threads;
+    // B is sized well beyond any cache/SPM (the Fig. 1 sweep varies this).
+    const std::uint64_t b_elems = params.scaled(4u << 20, 1u << 16);
+
+    AddressSpace space(params.config.hmc_capacity);
+    const ArrayRef a{space.alloc(n * 8), 8};
+    const ArrayRef b{space.alloc(b_elems * 8), 8};
+    const ArrayRef c{space.alloc(n * 8), 8};
+    const ArrayRef d{space.alloc(4 * n * 8), 8};  // strided sweep target
+
+    // C's content is a pure function of (seed, i) so the gather and
+    // scatter phases replay identical indices.
+    auto index_of = [&](std::uint64_t i) {
+      SplitMix64 h(params.seed ^ (i * 0x9E3779B97F4A7C15ULL));
+      return h.next() % b_elems;
+    };
+
+    for (std::uint32_t t = 0; t < params.threads; ++t) {
+      const auto tid = static_cast<ThreadId>(t);
+
+      // Kernel 1 — sequential copy: A[i] = D[i].
+      for (std::uint64_t i = t; i < n; i += params.threads) {
+        detail::emit_load(sink, tid, d, i);
+        detail::emit_store(sink, tid, a, i);
+        sink.instr(tid, 4);
+      }
+      sink.fence(tid);
+
+      // Kernel 2 — strided sweep: A[i] = D[4*i].
+      for (std::uint64_t i = t; i < n; i += params.threads) {
+        detail::emit_load(sink, tid, d, 4 * i);
+        detail::emit_store(sink, tid, a, i);
+        sink.instr(tid, 6);
+      }
+      sink.fence(tid);
+
+      // Kernel 3 — gather: A[i] = B[C[i]].
+      for (std::uint64_t i = t; i < n; i += params.threads) {
+        detail::emit_load(sink, tid, c, i);             // C[i]
+        detail::emit_load(sink, tid, b, index_of(i));   // B[C[i]]
+        detail::emit_store(sink, tid, a, i);            // A[i] =
+        sink.instr(tid, 6);
+      }
+      sink.fence(tid);
+
+      // Kernel 4 — scatter: B[C[i]] = A[i].
+      for (std::uint64_t i = t; i < n; i += params.threads) {
+        detail::emit_load(sink, tid, c, i);
+        detail::emit_load(sink, tid, a, i);
+        detail::emit_store(sink, tid, b, index_of(i));
+        sink.instr(tid, 6);
+      }
+      sink.fence(tid);
+    }
+  }
+};
+
+}  // namespace
+
+const Workload* sg_workload() {
+  static const SgWorkload instance;
+  return &instance;
+}
+
+}  // namespace mac3d

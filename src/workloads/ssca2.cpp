@@ -1,0 +1,97 @@
+// SSCA#2 — HPCS Scalable Synthetic Compact Application graph analysis
+// (Sec. 5.2). R-MAT graph; we reproduce the memory behaviour of its two
+// dominant kernels:
+//   kernel 1: classify edges by weight (sequential scan of the CSR arrays)
+//   kernel 3/4: extract subgraphs by bounded breadth-first expansion from
+//               sampled roots (sequential adjacency reads + random visits)
+#include "workloads/all.hpp"
+#include "workloads/detail.hpp"
+#include "workloads/graph_gen.hpp"
+
+namespace mac3d {
+namespace {
+
+using detail::ArrayRef;
+
+class Ssca2Workload final : public Workload {
+ public:
+  std::string name() const override { return "ssca2"; }
+  std::string description() const override {
+    return "SSCA#2: R-MAT edge classification + bounded BFS extraction";
+  }
+
+  void generate(TraceSink& sink, const WorkloadParams& params) const override {
+    const auto scale_log2 = static_cast<std::uint32_t>(
+        13 + (params.scale >= 4.0 ? 2 : params.scale >= 2.0 ? 1 : 0));
+    const CsrGraph graph = make_rmat_graph(scale_log2, 8, params.seed);
+    const std::uint64_t vertices = graph.num_vertices;
+    const std::uint64_t edges = graph.num_edges();
+
+    AddressSpace space(params.config.hmc_capacity);
+    const ArrayRef offsets{space.alloc((vertices + 1) * 8), 8};
+    const ArrayRef targets{space.alloc(edges * 4), 4};
+    const ArrayRef weights{space.alloc(edges * 4), 4};
+    const ArrayRef visited{space.alloc(vertices * 8), 8};
+    const ArrayRef out{space.alloc(edges * 8), 8};
+
+    for (std::uint32_t t = 0; t < params.threads; ++t) {
+      const auto tid = static_cast<ThreadId>(t);
+      Xoshiro256 rng(params.seed * 104729 + t);
+
+      // Kernel 1: scan classifying edges by weight (cyclic distribution).
+      std::uint64_t heavy = 0;
+      const std::uint64_t out_base = t * (edges / params.threads);
+      for (std::uint64_t e = t; e < edges; e += params.threads) {
+        detail::emit_load(sink, tid, weights, e);
+        detail::emit_load(sink, tid, targets, e);
+        sink.instr(tid, 5);  // compare + branch
+        if ((rng.next() & 7u) == 0) {
+          detail::emit_store(sink, tid, out, out_base + heavy);  // record edge
+          ++heavy;
+        }
+      }
+      sink.fence(tid);
+
+      // Kernel 3: bounded BFS expansion from sampled roots.
+      const std::uint64_t roots = params.scaled(4, 1);
+      const std::uint64_t edge_budget = params.scaled(8000, 256);
+      for (std::uint64_t r = 0; r < roots; ++r) {
+        std::uint64_t frontier = rng.below(vertices);
+        std::uint64_t expanded = 0;
+        while (expanded < edge_budget) {
+          detail::emit_load(sink, tid, offsets, frontier);      // degree
+          detail::emit_load(sink, tid, offsets, frontier + 1);
+          const std::uint64_t deg = graph.degree(frontier);
+          if (deg == 0) {
+            frontier = rng.below(vertices);
+            continue;
+          }
+          const std::uint64_t base = graph.offsets[frontier];
+          std::uint64_t next = frontier;
+          for (std::uint64_t d = 0; d < deg && expanded < edge_budget; ++d) {
+            detail::emit_load(sink, tid, targets, base + d);     // neighbor
+            const std::uint32_t v = graph.targets[base + d];
+            detail::emit_load(sink, tid, visited, v);            // probe
+            sink.instr(tid, 5);
+            if ((rng.next() & 3u) == 0) {
+              detail::emit_store(sink, tid, visited, v);         // mark
+              next = v;
+            }
+            ++expanded;
+          }
+          frontier = next == frontier ? rng.below(vertices) : next;
+        }
+        sink.fence(tid);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const Workload* ssca2_workload() {
+  static const Ssca2Workload instance;
+  return &instance;
+}
+
+}  // namespace mac3d

@@ -1,0 +1,71 @@
+// Workload framework: each of the paper's twelve benchmarks (Sec. 5.2) is
+// implemented as a native kernel that executes its real algorithm on
+// synthetic data and records the memory operations that would reach the
+// MAC — the reproduction's substitute for the paper's RISC-V Spike tracer
+// (see DESIGN.md §4).
+//
+// Conventions shared by all workloads:
+//  * work is partitioned over `params.threads` logical threads; thread t's
+//    operations are emitted in program order into the TraceSink;
+//  * data structures live in the node's 3D-stacked memory address space
+//    (AddressSpace bump allocator); small thread-private structures live
+//    in the per-core SPM and are only counted (spm_load/spm_store);
+//  * `params.scale` scales dataset sizes; seeds make runs bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "trace/address_space.hpp"
+#include "trace/trace.hpp"
+
+namespace mac3d {
+
+struct WorkloadParams {
+  std::uint32_t threads = 8;
+  double scale = 1.0;        ///< dataset scale factor
+  std::uint64_t seed = 42;
+  SimConfig config;          ///< geometry (capacity, SPM, nodes)
+
+  /// Scaled element count helper (at least `min_value`).
+  [[nodiscard]] std::uint64_t scaled(std::uint64_t base,
+                                     std::uint64_t min_value = 1) const {
+    const auto value =
+        static_cast<std::uint64_t>(static_cast<double>(base) * scale);
+    return value < min_value ? min_value : value;
+  }
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Short lowercase identifier, e.g. "sg", "mg".
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// One-line description (suite + kernel).
+  [[nodiscard]] virtual std::string description() const = 0;
+  /// Emit the full trace for `params` into `sink`.
+  virtual void generate(TraceSink& sink, const WorkloadParams& params) const = 0;
+
+  /// Convenience: generate into a fresh MemoryTrace.
+  [[nodiscard]] MemoryTrace trace(const WorkloadParams& params) const {
+    MemoryTrace out(params.threads);
+    generate(out, params);
+    return out;
+  }
+};
+
+/// The twelve benchmarks of the paper's evaluation, in figure order.
+[[nodiscard]] const std::vector<const Workload*>& workload_registry();
+
+/// Look up by name(); returns nullptr when unknown.
+[[nodiscard]] const Workload* find_workload(const std::string& name);
+
+/// Names in registry order (for harness/report headers).
+[[nodiscard]] std::vector<std::string> workload_names();
+
+}  // namespace mac3d

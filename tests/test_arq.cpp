@@ -1,0 +1,213 @@
+// Unit tests: the Aggregated Request Queue / Raw Request Aggregator
+// (paper Sec. 4.1) — comparator merging, T and B bits, fences, atomics,
+// target capacity, dual-port intake and fill-fast.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "mac/arq.hpp"
+#include "mem/address_map.hpp"
+
+namespace mac3d {
+namespace {
+
+RawRequest make(Address addr, MemOp op = MemOp::kLoad, ThreadId tid = 0,
+                Tag tag = 0) {
+  RawRequest request;
+  request.addr = addr;
+  request.op = op;
+  request.tid = tid;
+  request.tag = tag;
+  return request;
+}
+
+class ArqTest : public ::testing::Test {
+ protected:
+  SimConfig config_;
+  AddressMap map_{config_};
+  Arq arq_{config_, map_};
+};
+
+TEST_F(ArqTest, FirstRequestAllocates) {
+  EXPECT_EQ(arq_.insert(make(0xA60), 0), Arq::InsertResult::kAllocated);
+  EXPECT_EQ(arq_.size(), 1u);
+  const ArqEntry& entry = arq_.front();
+  EXPECT_EQ(entry.row, 0xAu);
+  EXPECT_TRUE(entry.bypass);  // B bit set: single request (Sec. 4.1.2)
+  EXPECT_TRUE(entry.flits.test(6));
+}
+
+TEST_F(ArqTest, SameRowLoadMergesAndClearsBypass) {
+  // Paper Fig. 7: loads to FLITs 6, 8, 9 of row 0xA merge into one entry.
+  ASSERT_EQ(arq_.insert(make(0xA60, MemOp::kLoad, 0, 1), 0),
+            Arq::InsertResult::kAllocated);
+  ASSERT_EQ(arq_.insert(make(0xA80, MemOp::kLoad, 1, 1), 1),
+            Arq::InsertResult::kMerged);
+  ASSERT_EQ(arq_.insert(make(0xA90, MemOp::kLoad, 2, 1), 2),
+            Arq::InsertResult::kMerged);
+  EXPECT_EQ(arq_.size(), 1u);
+  const ArqEntry& entry = arq_.front();
+  EXPECT_FALSE(entry.bypass);
+  EXPECT_EQ(entry.flits.group_pattern(4), 0b0110u);  // paper's example
+  EXPECT_EQ(entry.targets.size(), 3u);
+}
+
+TEST_F(ArqTest, StoreToSameRowGetsOwnEntry) {
+  // Paper Fig. 7 request 3: a store to row 0xA does not merge with loads
+  // (T bit) and carries the B bit.
+  ASSERT_EQ(arq_.insert(make(0xA60, MemOp::kLoad), 0),
+            Arq::InsertResult::kAllocated);
+  ASSERT_EQ(arq_.insert(make(0xA70, MemOp::kStore), 1),
+            Arq::InsertResult::kAllocated);
+  EXPECT_EQ(arq_.size(), 2u);
+  EXPECT_TRUE(arq_.at(1).is_store);
+  EXPECT_TRUE(arq_.at(1).bypass);
+}
+
+TEST_F(ArqTest, StoresMergeWithStores) {
+  ASSERT_EQ(arq_.insert(make(0xB00, MemOp::kStore, 0, 1), 0),
+            Arq::InsertResult::kAllocated);
+  ASSERT_EQ(arq_.insert(make(0xB40, MemOp::kStore, 1, 1), 1),
+            Arq::InsertResult::kMerged);
+  EXPECT_EQ(arq_.size(), 1u);
+}
+
+TEST_F(ArqTest, DifferentRowsAllocateSeparately) {
+  ASSERT_EQ(arq_.insert(make(0xA00), 0), Arq::InsertResult::kAllocated);
+  ASSERT_EQ(arq_.insert(make(0xB00), 1), Arq::InsertResult::kAllocated);
+  EXPECT_EQ(arq_.size(), 2u);
+}
+
+TEST_F(ArqTest, DuplicateFlitFromAnotherThreadStillMerges) {
+  ASSERT_EQ(arq_.insert(make(0xA60, MemOp::kLoad, 0, 1), 0),
+            Arq::InsertResult::kAllocated);
+  ASSERT_EQ(arq_.insert(make(0xA60, MemOp::kLoad, 1, 1), 1),
+            Arq::InsertResult::kMerged);
+  const ArqEntry& entry = arq_.front();
+  EXPECT_EQ(entry.targets.size(), 2u);  // both need responses
+  EXPECT_EQ(entry.flits.count(), 1u);   // one FLIT covers both
+}
+
+TEST_F(ArqTest, FenceDisablesComparators) {
+  ASSERT_EQ(arq_.insert(make(0xA00, MemOp::kLoad, 0, 1), 0),
+            Arq::InsertResult::kAllocated);
+  ASSERT_EQ(arq_.insert(make(0, MemOp::kFence, 0, 2), 1),
+            Arq::InsertResult::kAllocated);
+  EXPECT_TRUE(arq_.fence_pending());
+  // Same row as the first entry, but the fence forbids merging.
+  ASSERT_EQ(arq_.insert(make(0xA10, MemOp::kLoad, 0, 3), 2),
+            Arq::InsertResult::kAllocated);
+  EXPECT_EQ(arq_.size(), 3u);
+}
+
+TEST_F(ArqTest, FencePopReenablesComparators) {
+  (void)arq_.insert(make(0, MemOp::kFence), 0);
+  (void)arq_.pop();
+  EXPECT_FALSE(arq_.fence_pending());
+  (void)arq_.insert(make(0xA00, MemOp::kLoad, 0, 1), 1);
+  EXPECT_EQ(arq_.insert(make(0xA10, MemOp::kLoad, 0, 2), 2),
+            Arq::InsertResult::kMerged);
+}
+
+TEST_F(ArqTest, AtomicsNeverMerge) {
+  ASSERT_EQ(arq_.insert(make(0xC00, MemOp::kAtomic, 0, 1), 0),
+            Arq::InsertResult::kAllocated);
+  ASSERT_EQ(arq_.insert(make(0xC00, MemOp::kAtomic, 1, 1), 1),
+            Arq::InsertResult::kAllocated);
+  ASSERT_EQ(arq_.insert(make(0xC10, MemOp::kLoad, 2, 1), 2),
+            Arq::InsertResult::kAllocated);  // loads don't merge into amo
+  EXPECT_EQ(arq_.size(), 3u);
+  EXPECT_TRUE(arq_.front().is_atomic);
+}
+
+TEST_F(ArqTest, TargetCapacityIsTwelve) {
+  // Sec. 5.3.3: a 64 B entry holds at most 12 targets of 4.5 B.
+  EXPECT_EQ(arq_.max_targets_per_entry(), 12u);
+  for (std::uint32_t i = 0; i < 14; ++i) {
+    (void)arq_.insert(make(0xA00 + (i % 16) * 16, MemOp::kLoad,
+                           static_cast<ThreadId>(i), 1),
+                      i);
+  }
+  // 12 in the first entry, the 13th/14th spill into a second entry.
+  ASSERT_EQ(arq_.size(), 2u);
+  EXPECT_EQ(arq_.at(0).targets.size(), 12u);
+  EXPECT_EQ(arq_.at(1).targets.size(), 2u);
+  EXPECT_EQ(arq_.stats().merge_refused_capacity, 2u);
+}
+
+TEST_F(ArqTest, RejectsAllocationWhenFull) {
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    ASSERT_EQ(arq_.insert(make(static_cast<Address>(i) * 256), i),
+              Arq::InsertResult::kAllocated);
+  }
+  EXPECT_TRUE(arq_.full());
+  EXPECT_EQ(arq_.insert(make(0x100000), 33), Arq::InsertResult::kRejected);
+  // But merging into an existing entry still works when full.
+  EXPECT_EQ(arq_.insert(make(0x10, MemOp::kLoad, 1, 1), 34),
+            Arq::InsertResult::kMerged);
+}
+
+TEST_F(ArqTest, PortGatesRespected) {
+  ASSERT_EQ(arq_.insert(make(0xA00), 0), Arq::InsertResult::kAllocated);
+  // Merge forbidden -> same-row request needs an allocation.
+  EXPECT_EQ(arq_.insert(make(0xA10, MemOp::kLoad, 1, 1), 0,
+                        /*allow_merge=*/false, /*allow_alloc=*/true),
+            Arq::InsertResult::kAllocated);
+  // Allocation forbidden -> new row rejected.
+  EXPECT_EQ(arq_.insert(make(0xB00), 0, true, false),
+            Arq::InsertResult::kRejected);
+}
+
+TEST_F(ArqTest, PopReportsTargetsAndBypass) {
+  (void)arq_.insert(make(0xA00, MemOp::kLoad, 0, 1), 0);
+  (void)arq_.insert(make(0xA10, MemOp::kLoad, 1, 1), 1);
+  (void)arq_.insert(make(0xB00, MemOp::kLoad, 2, 1), 2);
+  const ArqEntry merged = arq_.pop();
+  EXPECT_EQ(merged.targets.size(), 2u);
+  const ArqEntry single = arq_.pop();
+  EXPECT_TRUE(single.bypass);
+  EXPECT_EQ(arq_.stats().popped, 2u);
+  EXPECT_EQ(arq_.stats().popped_bypass, 1u);
+  EXPECT_DOUBLE_EQ(arq_.stats().targets_per_entry.mean(), 1.5);
+}
+
+TEST(ArqFillFast, ArmsOnRisingEdgeAndSuppressesMerging) {
+  SimConfig config;
+  config.fill_fast_enabled = true;
+  AddressMap map(config);
+  Arq arq(config, map);
+  // Boot: queue empty -> fill-fast arms for the 32 free entries; the
+  // following same-row requests do NOT merge.
+  (void)arq.insert(make(0xA00, MemOp::kLoad, 0, 1), 0);
+  (void)arq.insert(make(0xA10, MemOp::kLoad, 1, 1), 1);
+  EXPECT_EQ(arq.size(), 2u);
+  EXPECT_EQ(arq.stats().fill_fast_inserts, 2u);
+}
+
+TEST(ArqFillFast, DisabledByDefault) {
+  SimConfig config;
+  AddressMap map(config);
+  Arq arq(config, map);
+  (void)arq.insert(make(0xA00, MemOp::kLoad, 0, 1), 0);
+  EXPECT_EQ(arq.insert(make(0xA10, MemOp::kLoad, 1, 1), 1),
+            Arq::InsertResult::kMerged);
+  EXPECT_EQ(arq.stats().fill_fast_inserts, 0u);
+}
+
+TEST_F(ArqTest, StatsOccupancyAndCounters) {
+  (void)arq_.insert(make(0xA00), 0);
+  (void)arq_.insert(make(0xA10, MemOp::kLoad, 1, 1), 1);
+  (void)arq_.insert(make(0xB00), 2);
+  const ArqStats& stats = arq_.stats();
+  EXPECT_EQ(stats.inserted, 3u);
+  EXPECT_EQ(stats.merged, 1u);
+  EXPECT_EQ(stats.allocated, 2u);
+  EXPECT_GT(stats.occupancy.count(), 0u);
+}
+
+TEST_F(ArqTest, StorageMatchesFig16) {
+  EXPECT_EQ(arq_.storage_bytes(), 32u * 64u);  // 2 KB at 32 entries
+  EXPECT_EQ(arq_.comparators(), 32u);
+}
+
+}  // namespace
+}  // namespace mac3d

@@ -1,0 +1,99 @@
+// Unit tests: the two-stage pipelined Request Builder (paper Sec. 4.2,
+// Fig. 8) — timing (1-cycle OR stage, 2-cycle lookup+build, 0.5 req/cycle
+// issue rate) and packet construction.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "mac/request_builder.hpp"
+#include "mem/address_map.hpp"
+
+namespace mac3d {
+namespace {
+
+class BuilderTest : public ::testing::Test {
+ protected:
+  ArqEntry entry_for(std::uint64_t row, std::initializer_list<int> flits,
+                     bool store = false) {
+    ArqEntry entry;
+    entry.row = row;
+    entry.is_store = store;
+    entry.flits = FlitMap(16);
+    Tag tag = 0;
+    for (int flit : flits) {
+      entry.flits.set(static_cast<std::uint32_t>(flit));
+      entry.targets.push_back(
+          Target{0, tag++, static_cast<std::uint8_t>(flit)});
+    }
+    entry.bypass = entry.targets.size() < 2;
+    return entry;
+  }
+
+  SimConfig config_;
+  AddressMap map_{config_};
+  RequestBuilder builder_{config_, map_};
+};
+
+TEST_F(BuilderTest, PaperExampleBuilds128BPacket) {
+  // Fig. 7/8: FLITs {6, 8, 9} of row 0xA -> pattern 0110 -> 128 B at
+  // offset 64 within the row.
+  builder_.accept(entry_for(0xA, {6, 8, 9}), 0);
+  EXPECT_FALSE(builder_.has_output(2));  // 3-cycle build latency
+  ASSERT_TRUE(builder_.has_output(3));
+  const HmcRequest request = builder_.pop_output(3);
+  EXPECT_EQ(request.data_bytes, 128u);
+  EXPECT_EQ(request.addr, 0xA00u + 64u);
+  EXPECT_EQ(request.targets.size(), 3u);
+  EXPECT_FALSE(request.write);
+}
+
+TEST_F(BuilderTest, InitiationIntervalIsTwoCycles) {
+  // Sec. 4.4: the MAC issues at a fixed 0.5 requests/cycle.
+  EXPECT_TRUE(builder_.can_accept(0));
+  builder_.accept(entry_for(1, {0, 1}), 0);
+  EXPECT_FALSE(builder_.can_accept(1));
+  EXPECT_TRUE(builder_.can_accept(2));
+  builder_.accept(entry_for(2, {0, 1}), 2);
+  EXPECT_EQ(builder_.stats().built, 2u);
+}
+
+TEST_F(BuilderTest, OutputsEmergeInOrder) {
+  builder_.accept(entry_for(1, {0}), 0);
+  builder_.accept(entry_for(2, {15}), 2);
+  ASSERT_TRUE(builder_.has_output(3));
+  EXPECT_EQ(builder_.pop_output(3).addr, 0x100u);
+  EXPECT_FALSE(builder_.has_output(4));
+  ASSERT_TRUE(builder_.has_output(5));
+  EXPECT_EQ(builder_.pop_output(5).addr, 0x200u + 192u);
+}
+
+TEST_F(BuilderTest, StoreEntriesBuildWritePackets) {
+  builder_.accept(entry_for(3, {0, 4, 8, 12}, /*store=*/true), 0);
+  const HmcRequest request = builder_.pop_output(3);
+  EXPECT_TRUE(request.write);
+  EXPECT_EQ(request.data_bytes, 256u);
+  EXPECT_EQ(request.addr, 0x300u);
+}
+
+TEST_F(BuilderTest, SizeHistogramTracksPackets) {
+  builder_.accept(entry_for(1, {0}), 0);        // 64 B
+  builder_.accept(entry_for(2, {0, 7}), 2);     // 128 B
+  builder_.accept(entry_for(3, {0, 15}), 4);    // 256 B
+  const auto& sizes = builder_.stats().packets_by_size;
+  EXPECT_EQ(sizes.at(64), 1u);
+  EXPECT_EQ(sizes.at(128), 1u);
+  EXPECT_EQ(sizes.at(256), 1u);
+}
+
+TEST_F(BuilderTest, StorageIsFourteenBytes) {
+  // Sec. 5.3.3: FLIT map (2 B) + FLIT table (12 B).
+  EXPECT_EQ(builder_.storage_bytes(), 14u);
+}
+
+TEST_F(BuilderTest, NextOutputAtReportsReadyCycle) {
+  EXPECT_TRUE(builder_.empty());
+  builder_.accept(entry_for(1, {2, 3}), 10);
+  EXPECT_EQ(builder_.next_output_at(), 13u);
+}
+
+}  // namespace
+}  // namespace mac3d

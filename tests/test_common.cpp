@@ -1,0 +1,309 @@
+// Unit tests: common utilities (bit helpers, RNG, bounded FIFO, stats,
+// configuration).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/bitutil.hpp"
+#include "common/config.hpp"
+#include "common/fixed_queue.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace mac3d {
+namespace {
+
+// ---------------------------------------------------------------- bitutil
+TEST(BitUtil, BitsExtractsRanges) {
+  EXPECT_EQ(bits(0xABCD, 0, 4), 0xDu);
+  EXPECT_EQ(bits(0xABCD, 4, 4), 0xCu);
+  EXPECT_EQ(bits(0xABCD, 8, 8), 0xABu);
+  EXPECT_EQ(bits(~0ULL, 0, 64), ~0ULL);
+}
+
+TEST(BitUtil, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(256));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(257));
+}
+
+TEST(BitUtil, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(16), 4u);
+  EXPECT_EQ(log2_exact(1ULL << 33), 33u);
+}
+
+TEST(BitUtil, LowestHighestBit) {
+  EXPECT_EQ(lowest_bit(0b1010), 1u);
+  EXPECT_EQ(highest_bit(0b1010), 3u);
+  EXPECT_EQ(lowest_bit(1ULL << 63), 63u);
+  EXPECT_EQ(highest_bit(1), 0u);
+}
+
+TEST(BitUtil, AlignUpDown) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_down(63, 64), 0u);
+  EXPECT_EQ(align_down(130, 64), 128u);
+}
+
+TEST(BitUtil, Popcount) {
+  EXPECT_EQ(popcount64(0), 0u);
+  EXPECT_EQ(popcount64(0xFFFF), 16u);
+  EXPECT_EQ(popcount64(~0ULL), 64u);
+}
+
+// -------------------------------------------------------------------- rng
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsBounded) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SplitMixExpandsSeeds) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, 0u);
+}
+
+// ------------------------------------------------------------ fixed_queue
+TEST(FixedQueue, PushPopFifoOrder) {
+  FixedQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) queue.push(i);
+  EXPECT_TRUE(queue.full());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(queue.pop(), i);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(FixedQueue, TryPushRespectsCapacity) {
+  FixedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(FixedQueue, WrapsAround) {
+  FixedQueue<int> queue(3);
+  queue.push(1);
+  queue.push(2);
+  EXPECT_EQ(queue.pop(), 1);
+  queue.push(3);
+  queue.push(4);
+  EXPECT_TRUE(queue.full());
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), 3);
+  EXPECT_EQ(queue.pop(), 4);
+}
+
+TEST(FixedQueue, RandomAccessFromHead) {
+  FixedQueue<int> queue(4);
+  queue.push(10);
+  queue.push(20);
+  queue.push(30);
+  (void)queue.pop();
+  queue.push(40);
+  EXPECT_EQ(queue.at(0), 20);
+  EXPECT_EQ(queue.at(1), 30);
+  EXPECT_EQ(queue.at(2), 40);
+}
+
+TEST(FixedQueue, ClearResets) {
+  FixedQueue<int> queue(2);
+  queue.push(1);
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.free_slots(), 2u);
+}
+
+// ------------------------------------------------------------------ stats
+TEST(RunningStat, TracksMoments) {
+  RunningStat stat;
+  stat.add(1.0);
+  stat.add(2.0);
+  stat.add(3.0);
+  EXPECT_EQ(stat.count(), 3u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 3.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.min(), 0.0);
+}
+
+TEST(RunningStat, MergeCombines) {
+  RunningStat a;
+  RunningStat b;
+  a.add(1.0);
+  a.add(5.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Histogram, BucketsByMagnitude) {
+  Histogram hist;
+  hist.add(0);
+  hist.add(1);
+  hist.add(1000);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.buckets()[0], 1u);  // zero
+  EXPECT_EQ(hist.buckets()[1], 1u);  // 1
+  EXPECT_EQ(hist.buckets()[10], 1u);  // 512..1023
+}
+
+TEST(StatSet, SetGetAdd) {
+  StatSet stats;
+  stats.set("a", 1.0);
+  stats.add("a", 2.0);
+  EXPECT_DOUBLE_EQ(stats.get("a"), 3.0);
+  EXPECT_DOUBLE_EQ(stats.get("missing"), 0.0);
+  EXPECT_TRUE(stats.contains("a"));
+  EXPECT_FALSE(stats.contains("missing"));
+}
+
+TEST(StatSet, RendersCsv) {
+  StatSet stats;
+  stats.set("x", 2.0);
+  EXPECT_NE(stats.to_csv().find("x,2"), std::string::npos);
+  EXPECT_NE(stats.to_string().find("x"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- config
+TEST(Config, DefaultsMatchTable1) {
+  SimConfig config;
+  EXPECT_EQ(config.cores, 8u);
+  EXPECT_DOUBLE_EQ(config.cpu_ghz, 3.3);
+  EXPECT_EQ(config.spm_bytes, 1u << 20);
+  EXPECT_EQ(config.hmc_links, 4u);
+  EXPECT_EQ(config.hmc_capacity, 8ull << 30);
+  EXPECT_EQ(config.row_bytes, 256u);
+  EXPECT_EQ(config.arq_entries, 32u);
+  EXPECT_EQ(config.arq_entry_bytes, 64u);
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Config, DerivedQuantities) {
+  SimConfig config;
+  EXPECT_EQ(config.flits_per_row(), 16u);
+  EXPECT_EQ(config.builder_groups(), 4u);
+  EXPECT_EQ(config.flits_per_group(), 4u);
+  EXPECT_EQ(config.total_banks(), 512u);
+  // Sec. 5.3.3: (64 - 8 - 2) / 4.5 = 12 targets per 64 B entry.
+  EXPECT_EQ(config.max_targets_per_entry(), 12u);
+}
+
+TEST(Config, NsCycleConversion) {
+  SimConfig config;
+  EXPECT_EQ(config.ns_to_cycles(93.0), 307u);  // Table 1 HMC latency
+  EXPECT_NEAR(config.cycles_to_ns(307), 93.0, 0.1);
+}
+
+TEST(Config, ParseOverrides) {
+  SimConfig config;
+  config.parse_override_string("arq_entries=64,cores=4 cpu_ghz=2.0");
+  EXPECT_EQ(config.arq_entries, 64u);
+  EXPECT_EQ(config.cores, 4u);
+  EXPECT_DOUBLE_EQ(config.cpu_ghz, 2.0);
+}
+
+TEST(Config, RowBytesOverrideAdjustsBuilderMax) {
+  SimConfig config;
+  config.parse_override_string("row_bytes=1024");
+  EXPECT_EQ(config.builder_max_bytes, 1024u);
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Config, RejectsUnknownKey) {
+  SimConfig config;
+  EXPECT_THROW(config.parse_override_string("bogus=1"), ConfigError);
+}
+
+TEST(Config, RejectsMalformedPair) {
+  SimConfig config;
+  EXPECT_THROW(config.parse_override_string("oops"), ConfigError);
+  EXPECT_THROW(config.parse_override_string("=3"), ConfigError);
+  EXPECT_THROW(config.parse_override_string("cores=abc"), ConfigError);
+}
+
+TEST(Config, ValidateCatchesBadGeometry) {
+  SimConfig config;
+  config.row_bytes = 100;  // not a power of two
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = SimConfig{};
+  config.vaults = 3;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = SimConfig{};
+  config.hmc_links = 64;  // more links than vaults
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = SimConfig{};
+  config.builder_min_bytes = 24;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = SimConfig{};
+  config.arq_entries = 1;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST(Config, TableRenderMentionsKeyParameters) {
+  SimConfig config;
+  const std::string table = config.to_table();
+  EXPECT_NE(table.find("3.3 GHz"), std::string::npos);
+  EXPECT_NE(table.find("32 entries"), std::string::npos);
+  EXPECT_NE(table.find("256B-block"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mac3d

@@ -1,0 +1,177 @@
+// Unit tests: the streaming / closed-loop drivers and the cross-path
+// comparison metrics over identical traces.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/driver.hpp"
+#include "sim/metrics.hpp"
+#include "workloads/all.hpp"
+
+namespace mac3d {
+namespace {
+
+MemoryTrace shared_row_trace(std::uint32_t threads, std::uint32_t rows) {
+  MemoryTrace trace(threads);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      trace.instr(static_cast<ThreadId>(t), 2);
+      trace.load(static_cast<ThreadId>(t),
+                 static_cast<Address>(r) * 256 + (t % 16) * 16);
+    }
+  }
+  return trace;
+}
+
+MemoryTrace random_trace(std::uint32_t threads, std::uint32_t per_thread) {
+  MemoryTrace trace(threads);
+  Xoshiro256 rng(123);
+  for (std::uint32_t i = 0; i < per_thread; ++i) {
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      trace.instr(static_cast<ThreadId>(t), 2);
+      trace.load(static_cast<ThreadId>(t), rng.below(1ull << 30) & ~0xFULL);
+    }
+  }
+  return trace;
+}
+
+TEST(Driver, RawPathIssuesOnePacketPerRequest) {
+  SimConfig config;
+  const MemoryTrace trace = shared_row_trace(4, 50);
+  const DriverResult raw = run_raw(trace, config, 4);
+  EXPECT_EQ(raw.raw_requests, 200u);
+  EXPECT_EQ(raw.packets, 200u);
+  EXPECT_EQ(raw.completions, 200u);
+  EXPECT_DOUBLE_EQ(raw.coalescing_efficiency(), 0.0);
+  EXPECT_NEAR(raw.bandwidth_efficiency(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Driver, MacPathCoalescesSharedRows) {
+  SimConfig config;
+  const MemoryTrace trace = shared_row_trace(8, 200);
+  const DriverResult mac = run_mac(trace, config, 8);
+  EXPECT_EQ(mac.raw_requests, 1600u);
+  EXPECT_EQ(mac.completions, 1600u);
+  EXPECT_LT(mac.packets, 1600u);
+  EXPECT_GT(mac.coalescing_efficiency(), 0.4);
+  EXPECT_GT(mac.avg_targets_per_entry, 1.5);
+  EXPECT_GT(mac.bandwidth_efficiency(), 1.0 / 3.0);
+}
+
+TEST(Driver, RandomTraceBarelyCoalesces) {
+  SimConfig config;
+  const MemoryTrace trace = random_trace(8, 200);
+  const DriverResult mac = run_mac(trace, config, 8);
+  EXPECT_LT(mac.coalescing_efficiency(), 0.1);
+  // Everything bypasses as single-FLIT requests.
+  EXPECT_NEAR(mac.bandwidth_efficiency(), 1.0 / 3.0, 0.05);
+}
+
+TEST(Driver, MacNeverIncreasesPacketsOrConflicts) {
+  SimConfig config;
+  for (const Workload* workload :
+       {sg_workload(), mg_workload(), gap_bfs_workload()}) {
+    WorkloadParams params;
+    params.threads = 4;
+    params.scale = 0.05;
+    params.config = config;
+    const MemoryTrace trace = workload->trace(params);
+    const DriverResult raw = run_raw(trace, config, 4);
+    const DriverResult mac = run_mac(trace, config, 4);
+    EXPECT_LE(mac.packets, raw.packets) << workload->name();
+    EXPECT_LE(mac.bank_conflicts, raw.bank_conflicts) << workload->name();
+    // Note: link *bytes* may grow — a sparse span pads unrequested FLITs
+    // into the packet (the Sec. 4.2 trade-off) — but control overhead
+    // always shrinks with the packet count.
+    EXPECT_LE(mac.overhead_bytes, raw.overhead_bytes) << workload->name();
+    EXPECT_EQ(mac.completions, raw.completions) << workload->name();
+  }
+}
+
+TEST(Driver, MshrPathDispatchesFixedBlocks) {
+  SimConfig config;
+  const MemoryTrace trace = shared_row_trace(8, 100);
+  const DriverResult mshr = run_mshr(trace, config, 8, 32, 64);
+  EXPECT_EQ(mshr.completions, 800u);
+  EXPECT_GT(mshr.coalescing_efficiency(), 0.0);
+  // All packets are 64 B.
+  ASSERT_EQ(mshr.packets_by_size.size(), 1u);
+  EXPECT_EQ(mshr.packets_by_size.begin()->first, 64u);
+}
+
+TEST(Driver, MacAdaptsPacketSizesBeyondTheMshrCap) {
+  // Sec. 2.3: the MSHR baseline is capped at fixed 64 B packets; the MAC
+  // adapts the transaction size up to the full row. (The whole-suite
+  // comparison lives in bench/ablation_mshr_vs_mac.)
+  SimConfig config;
+  const MemoryTrace trace = shared_row_trace(16, 300);
+  const DriverResult mac = run_mac(trace, config, 16);
+  const DriverResult mshr = run_mshr(trace, config, 16, 32, 64);
+  std::uint64_t mac_large = 0;
+  for (const auto& [size, count] : mac.packets_by_size) {
+    if (size > 64) mac_large += count;
+  }
+  EXPECT_GT(mac_large, 0u);
+  ASSERT_EQ(mshr.packets_by_size.size(), 1u);
+  EXPECT_EQ(mshr.packets_by_size.begin()->first, 64u);
+  EXPECT_EQ(mac.completions, mshr.completions);
+}
+
+TEST(Driver, ClosedLoopModeCompletesEverything) {
+  SimConfig config;
+  const MemoryTrace trace = shared_row_trace(4, 50);
+  DriveOptions options;
+  options.mode = FeedMode::kClosedLoop;
+  const DriverResult mac = run_mac(trace, config, 4, options);
+  EXPECT_EQ(mac.completions, 200u);
+  EXPECT_GT(mac.makespan, 0u);
+}
+
+TEST(Driver, GapChargingSlowsArrivalButChangesNoCounts) {
+  SimConfig config;
+  MemoryTrace trace(2);
+  for (int i = 0; i < 50; ++i) {
+    trace.instr(0, 200);
+    trace.load(0, static_cast<Address>(i) * 256);
+    trace.instr(1, 200);
+    trace.load(1, static_cast<Address>(i) * 256 + 16);
+  }
+  DriveOptions paced;
+  DriveOptions unpaced;
+  unpaced.charge_gaps = false;
+  const DriverResult slow = run_mac(trace, config, 2, paced);
+  const DriverResult fast = run_mac(trace, config, 2, unpaced);
+  EXPECT_EQ(slow.completions, fast.completions);
+  EXPECT_GT(slow.makespan, fast.makespan);
+}
+
+TEST(Driver, SpeedupMetricsAreConsistent) {
+  SimConfig config;
+  const MemoryTrace trace = shared_row_trace(8, 300);
+  const DriverResult raw = run_raw(trace, config, 8);
+  const DriverResult mac = run_mac(trace, config, 8);
+  const double speedup = memory_speedup(raw, mac);
+  EXPECT_GT(speedup, 0.0);
+  EXPECT_LT(speedup, 1.0);
+  EXPECT_GT(bank_conflict_reduction(raw, mac), 0u);
+  EXPECT_GT(bandwidth_saving_bytes(raw, mac), 0u);
+}
+
+TEST(Driver, DeterministicAcrossRuns) {
+  SimConfig config;
+  const MemoryTrace trace = random_trace(4, 100);
+  const DriverResult a = run_mac(trace, config, 4);
+  const DriverResult b = run_mac(trace, config, 4);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.packets, b.packets);
+  EXPECT_EQ(a.bank_conflicts, b.bank_conflicts);
+  EXPECT_EQ(a.link_bytes, b.link_bytes);
+}
+
+TEST(Metrics, GeomeanAndMean) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
+  EXPECT_EQ(geomean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace mac3d

@@ -1,0 +1,170 @@
+// Unit tests: FLIT map (Sec. 4.1.1) and FLIT table (Sec. 4.2.1), including
+// a parameterized sweep over all sixteen 4-bit group patterns.
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hpp"
+#include "mac/flit_map.hpp"
+#include "mac/flit_table.hpp"
+
+namespace mac3d {
+namespace {
+
+// --------------------------------------------------------------- FLIT map
+TEST(FlitMap, StartsEmpty) {
+  FlitMap map(16);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.count(), 0u);
+  EXPECT_EQ(map.size(), 16u);
+}
+
+TEST(FlitMap, SetAndTest) {
+  FlitMap map(16);
+  map.set(5);  // paper Fig. 6 example: bit[5] set
+  EXPECT_TRUE(map.test(5));
+  EXPECT_FALSE(map.test(4));
+  EXPECT_EQ(map.count(), 1u);
+  EXPECT_EQ(map.raw(), 1u << 5);
+}
+
+TEST(FlitMap, SetIsIdempotent) {
+  FlitMap map(16);
+  map.set(3);
+  map.set(3);
+  EXPECT_EQ(map.count(), 1u);
+}
+
+TEST(FlitMap, FirstLastSet) {
+  FlitMap map(16);
+  map.set(6);
+  map.set(8);
+  map.set(9);
+  EXPECT_EQ(map.first_set(), 6u);
+  EXPECT_EQ(map.last_set(), 9u);
+}
+
+TEST(FlitMap, GroupPatternOrReducesQuads) {
+  // Paper Fig. 7/8: FLITs {6, 8, 9} -> groups 0110.
+  FlitMap map(16);
+  map.set(6);
+  map.set(8);
+  map.set(9);
+  EXPECT_EQ(map.group_pattern(4), 0b0110u);
+}
+
+TEST(FlitMap, GroupPatternCorners) {
+  FlitMap map(16);
+  map.set(0);
+  EXPECT_EQ(map.group_pattern(4), 0b0001u);
+  map.set(15);
+  EXPECT_EQ(map.group_pattern(4), 0b1001u);
+  for (std::uint32_t f = 0; f < 16; ++f) map.set(f);
+  EXPECT_EQ(map.group_pattern(4), 0b1111u);
+}
+
+TEST(FlitMap, SupportsHbmSixtyFourFlits) {
+  FlitMap map(64);  // Sec. 4.3: 1 KB HBM page
+  map.set(63);
+  EXPECT_EQ(map.last_set(), 63u);
+  EXPECT_EQ(map.group_pattern(16), 1u << 15);
+}
+
+TEST(FlitMap, ClearEmpties) {
+  FlitMap map(16);
+  map.set(7);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+}
+
+// -------------------------------------------------------------- FLIT table
+TEST(FlitTable, SixteenEntriesForPaperGeometry) {
+  FlitTable table(256, 64);
+  EXPECT_EQ(table.groups(), 4u);
+  EXPECT_EQ(table.entries(), 16u);
+  EXPECT_EQ(table.storage_bytes(), 12u);  // paper Sec. 4.2.1
+}
+
+TEST(FlitTable, PaperExamplePattern0110Gives128B) {
+  FlitTable table(256, 64);
+  const PacketShape shape = table.lookup(0b0110);
+  EXPECT_EQ(shape.size_bytes, 128u);
+  EXPECT_EQ(shape.offset_bytes, 64u);
+}
+
+TEST(FlitTable, SingleGroupGives64B) {
+  FlitTable table(256, 64);
+  for (std::uint32_t g = 0; g < 4; ++g) {
+    const PacketShape shape = table.lookup(1u << g);
+    EXPECT_EQ(shape.size_bytes, 64u);
+    EXPECT_EQ(shape.offset_bytes, g * 64);
+  }
+}
+
+TEST(FlitTable, FullPatternGives256B) {
+  FlitTable table(256, 64);
+  const PacketShape shape = table.lookup(0b1111);
+  EXPECT_EQ(shape.size_bytes, 256u);
+  EXPECT_EQ(shape.offset_bytes, 0u);
+}
+
+TEST(FlitTable, NonAdjacentGroupsWidenThePacket) {
+  FlitTable table(256, 64);
+  EXPECT_EQ(table.lookup(0b1001).size_bytes, 256u);
+  EXPECT_EQ(table.lookup(0b0101).size_bytes, 256u);
+  EXPECT_EQ(table.lookup(0b1010).size_bytes, 256u);
+}
+
+TEST(FlitTable, RejectsZeroAndOutOfRange) {
+  FlitTable table(256, 64);
+  EXPECT_THROW(table.lookup(0), std::out_of_range);
+  EXPECT_THROW(table.lookup(16), std::out_of_range);
+}
+
+TEST(FlitTable, RejectsBadGeometry) {
+  EXPECT_THROW(FlitTable(256, 24), std::invalid_argument);
+  EXPECT_THROW(FlitTable(100, 64), std::invalid_argument);
+  EXPECT_THROW(FlitTable(64, 256), std::invalid_argument);
+  EXPECT_THROW(FlitTable(4096, 16), std::invalid_argument);  // > 16 groups
+}
+
+TEST(FlitTable, HbmGeometrySixteenGroups) {
+  FlitTable table(1024, 64);  // Sec. 4.3
+  EXPECT_EQ(table.groups(), 16u);
+  EXPECT_EQ(table.lookup(0x8001).size_bytes, 1024u);
+  EXPECT_EQ(table.lookup(0x0003).size_bytes, 128u);
+}
+
+// Property sweep: every nonzero 4-bit pattern must be covered by the
+// packet the table selects, the packet must stay inside the row, and its
+// size must be the smallest power-of-two group count covering the span.
+class FlitTablePattern : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FlitTablePattern, CoversSpanMinimally) {
+  const std::uint32_t pattern = GetParam();
+  FlitTable table(256, 64);
+  const PacketShape shape = table.lookup(pattern);
+
+  // Covers every active group.
+  for (std::uint32_t g = 0; g < 4; ++g) {
+    if (!((pattern >> g) & 1u)) continue;
+    const std::uint32_t group_begin = g * 64;
+    EXPECT_GE(group_begin, shape.offset_bytes);
+    EXPECT_LT(group_begin, shape.offset_bytes + shape.size_bytes);
+  }
+  // Stays inside the row and is a legal builder size.
+  EXPECT_LE(shape.offset_bytes + shape.size_bytes, 256u);
+  EXPECT_TRUE(shape.size_bytes == 64 || shape.size_bytes == 128 ||
+              shape.size_bytes == 256);
+  // Minimality: half the size cannot cover the span.
+  const std::uint32_t first = lowest_bit(pattern) * 64;
+  const std::uint32_t last = highest_bit(pattern) * 64 + 64;
+  EXPECT_GE(shape.size_bytes, last - first);
+  if (shape.size_bytes > 64) {
+    EXPECT_LT(shape.size_bytes / 2, last - first);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, FlitTablePattern,
+                         ::testing::Range(1u, 16u));
+
+}  // namespace
+}  // namespace mac3d

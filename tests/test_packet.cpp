@@ -1,0 +1,74 @@
+// Unit tests: HMC packet accounting (paper Sec. 2.2.2, Eq. 1, Fig. 3).
+#include <gtest/gtest.h>
+
+#include "mem/packet.hpp"
+
+namespace mac3d {
+namespace {
+
+TEST(Packet, DataFlitsRoundUp) {
+  EXPECT_EQ(data_flits(16), 1u);
+  EXPECT_EQ(data_flits(17), 2u);
+  EXPECT_EQ(data_flits(64), 4u);
+  EXPECT_EQ(data_flits(256), 16u);
+}
+
+TEST(Packet, ReadRequestIsControlOnly) {
+  // A read request carries one FLIT of header+tail, no payload.
+  EXPECT_EQ(request_flits(16, false), 1u);
+  EXPECT_EQ(request_flits(256, false), 1u);
+}
+
+TEST(Packet, ReadResponseCarriesData) {
+  EXPECT_EQ(response_flits(16, false), 2u);    // control + 1 data FLIT
+  EXPECT_EQ(response_flits(256, false), 17u);  // control + 16 data FLITs
+}
+
+TEST(Packet, WriteMirrorsRead) {
+  EXPECT_EQ(request_flits(128, true), 9u);  // control + 8 data FLITs
+  EXPECT_EQ(response_flits(128, true), 1u);  // write ack: control only
+}
+
+TEST(Packet, EveryAccessPays32BytesControl) {
+  // Paper Sec. 2.2.2: control is 16 B per packet, 32 B per access,
+  // independent of payload and of direction.
+  for (std::uint32_t size : {16u, 32u, 64u, 128u, 256u}) {
+    EXPECT_EQ(access_link_bytes(size, false), size + kAccessOverheadBytes);
+    EXPECT_EQ(access_link_bytes(size, true), size + kAccessOverheadBytes);
+  }
+}
+
+TEST(Packet, Eq1BandwidthEfficiency) {
+  // Fig. 3 values.
+  EXPECT_NEAR(bandwidth_efficiency(16), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(bandwidth_efficiency(32), 0.5, 1e-9);
+  EXPECT_NEAR(bandwidth_efficiency(64), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(bandwidth_efficiency(128), 0.8, 1e-9);
+  EXPECT_NEAR(bandwidth_efficiency(256), 8.0 / 9.0, 1e-9);
+}
+
+TEST(Packet, OverheadIsComplementOfEfficiency) {
+  for (std::uint32_t size = 16; size <= 256; size *= 2) {
+    EXPECT_NEAR(bandwidth_efficiency(size) + overhead_fraction(size), 1.0,
+                1e-12);
+  }
+}
+
+TEST(Packet, PaperImprovementFactor) {
+  // "Bandwidth efficiency for 256B requests ... improvement of a factor of
+  // 2.67 when compared with 16B requests."
+  EXPECT_NEAR(bandwidth_efficiency(256) / bandwidth_efficiency(16), 2.6667,
+              1e-3);
+}
+
+TEST(Packet, Fig2ByteAccounting) {
+  // Sixteen raw 16 B loads: 768 B total, 512 B control.
+  const std::uint64_t raw_total = 16 * access_link_bytes(16, false);
+  EXPECT_EQ(raw_total, 768u);
+  EXPECT_EQ(raw_total - 16 * 16, 512u);
+  // One coalesced 256 B request: 288 B total, 32 B control.
+  EXPECT_EQ(access_link_bytes(256, false), 288u);
+}
+
+}  // namespace
+}  // namespace mac3d

@@ -1,0 +1,199 @@
+// Property-based tests: parameterized sweeps over synthetic traces with
+// controlled row locality, thread counts and ARQ sizes, checking the
+// monotonicity and bound properties of DESIGN.md §6.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "sim/driver.hpp"
+#include "workloads/all.hpp"
+#include "trace/trace.hpp"
+
+namespace mac3d {
+namespace {
+
+/// Synthetic trace generator with tunable locality: each thread walks a
+/// sequential stream with probability `locality` and jumps to a random
+/// row otherwise.
+MemoryTrace locality_trace(double locality, std::uint32_t threads,
+                           std::uint32_t per_thread, std::uint64_t seed) {
+  MemoryTrace trace(threads);
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> position(threads, 0);
+  for (std::uint32_t i = 0; i < per_thread; ++i) {
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      if (rng.uniform() >= locality) {
+        position[t] = rng.below(1ull << 22) * 16;  // random FLIT
+      } else {
+        position[t] += 8;  // continue the shared stream
+      }
+      const Address addr = (i * threads + t) % 4 == 0
+                               ? position[t]
+                               : (static_cast<Address>(i) * threads + t) * 8;
+      trace.instr(static_cast<ThreadId>(t), 2);
+      trace.load(static_cast<ThreadId>(t), addr & ~0x7ull);
+    }
+  }
+  return trace;
+}
+
+// ------------------------------------------------- locality monotonicity
+class LocalitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LocalitySweep, EfficiencyWithinBounds) {
+  SimConfig config;
+  const MemoryTrace trace = locality_trace(GetParam(), 8, 400, 7);
+  const DriverResult mac = run_mac(trace, config, 8);
+  EXPECT_GE(mac.coalescing_efficiency(), 0.0);
+  // 16 FLITs per row and a 12-target entry bound the reduction.
+  EXPECT_LE(mac.coalescing_efficiency(), 1.0 - 1.0 / 12.0 + 1e-9);
+  EXPECT_EQ(mac.completions, trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, LocalitySweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+TEST(LocalityMonotonicity, MoreLocalityNeverHurtsMuch) {
+  SimConfig config;
+  double previous = -1.0;
+  for (const double locality : {0.0, 0.5, 1.0}) {
+    const MemoryTrace trace = locality_trace(locality, 8, 400, 11);
+    const DriverResult mac = run_mac(trace, config, 8);
+    // Allow small noise but require the overall trend to be upward.
+    EXPECT_GT(mac.coalescing_efficiency(), previous - 0.05)
+        << "locality " << locality;
+    previous = mac.coalescing_efficiency();
+  }
+  EXPECT_GT(previous, 0.2);  // fully local streams coalesce substantially
+}
+
+// ------------------------------------------------------ ARQ size sweep
+class ArqSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ArqSizeSweep, CompletesAndStaysBounded) {
+  SimConfig config;
+  config.arq_entries = GetParam();
+  const MemoryTrace trace = locality_trace(0.7, 8, 300, 13);
+  const DriverResult mac = run_mac(trace, config, 8);
+  EXPECT_EQ(mac.completions, trace.size());
+  EXPECT_GE(mac.coalescing_efficiency(), 0.0);
+  EXPECT_LE(mac.avg_targets_per_entry,
+            static_cast<double>(config.max_targets_per_entry()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArqSizeSweep,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u, 128u));
+
+TEST(ArqSizeTrend, TinyQueueCoalescesLessThanPaperSize) {
+  // Fig. 11's trend, checked on a real workload whose bursty arrivals
+  // exercise queue depth (synthetic saturating streams pin the dual-port
+  // equilibrium regardless of ARQ size).
+  SimConfig tiny;
+  tiny.arq_entries = 4;
+  SimConfig paper;  // 32 entries
+  WorkloadParams params;
+  params.threads = 8;
+  params.scale = 0.1;
+  params.config = paper;
+  const MemoryTrace trace = gap_cc_workload()->trace(params);
+  const DriverResult small = run_mac(trace, tiny, 8);
+  const DriverResult large = run_mac(trace, paper, 8);
+  EXPECT_GT(large.coalescing_efficiency(),
+            small.coalescing_efficiency() + 0.02);
+}
+
+// -------------------------------------------------- thread count sweep
+class ThreadSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ThreadSweep, ConservationHoldsForAnyThreadCount) {
+  SimConfig config;
+  const std::uint32_t threads = GetParam();
+  const MemoryTrace trace = locality_trace(0.6, threads, 300, 23);
+  const DriverResult raw = run_raw(trace, config, threads);
+  const DriverResult mac = run_mac(trace, config, threads);
+  EXPECT_EQ(raw.completions, trace.size());
+  EXPECT_EQ(mac.completions, trace.size());
+  EXPECT_LE(mac.packets, raw.packets);
+  EXPECT_LE(mac.overhead_bytes, raw.overhead_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ThreadSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+// ----------------------------------------- builder granularity sweep
+class GranularitySweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GranularitySweep, PacketsRespectGranularity) {
+  SimConfig config;
+  config.builder_min_bytes = GetParam();
+  const MemoryTrace trace = locality_trace(0.9, 8, 300, 29);
+  const DriverResult mac = run_mac(trace, config, 8);
+  for (const auto& [size, count] : mac.packets_by_size) {
+    (void)count;
+    // Bypass packets are 16 B; built packets are multiples of the
+    // granularity and powers of two up to the row size.
+    if (size == 16 && GetParam() != 16) continue;
+    EXPECT_EQ(size % GetParam(), 0u);
+    EXPECT_LE(size, config.row_bytes);
+  }
+  EXPECT_EQ(mac.completions, trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, GranularitySweep,
+                         ::testing::Values(16u, 32u, 64u, 128u, 256u));
+
+// -------------------------------------------------- config matrix sweep
+using ConfigTuple = std::tuple<std::uint32_t, std::uint32_t>;  // vaults, links
+class GeometrySweep : public ::testing::TestWithParam<ConfigTuple> {};
+
+TEST_P(GeometrySweep, RunsCleanlyOnAnyGeometry) {
+  SimConfig config;
+  config.vaults = std::get<0>(GetParam());
+  config.hmc_links = std::get<1>(GetParam());
+  config.validate();
+  const MemoryTrace trace = locality_trace(0.5, 4, 200, 31);
+  const DriverResult mac = run_mac(trace, config, 4);
+  EXPECT_EQ(mac.completions, trace.size());
+  EXPECT_GT(mac.makespan, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, GeometrySweep,
+                         ::testing::Values(ConfigTuple{8, 2},
+                                           ConfigTuple{16, 4},
+                                           ConfigTuple{32, 4},
+                                           ConfigTuple{32, 8},
+                                           ConfigTuple{64, 4}));
+
+// -------------------------------------------------------- seed fuzzing
+class SeedFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedFuzz, RandomTrafficNeverBreaksInvariants) {
+  SimConfig config;
+  Xoshiro256 rng(GetParam());
+  MemoryTrace trace(4);
+  const std::uint32_t n = 600;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto tid = static_cast<ThreadId>(rng.below(4));
+    const Address addr = rng.below(1ull << 26) & ~0xFull;
+    switch (rng.below(20)) {
+      case 0: trace.atomic(tid, addr & ~0x7ull, 8); break;
+      case 1: trace.fence(tid); break;
+      case 2: trace.store(tid, addr, 8); break;
+      default: trace.load(tid, addr, 8); break;
+    }
+  }
+  const DriverResult mac = run_mac(trace, config, 4);
+  const DriverResult raw = run_raw(trace, config, 4);
+  EXPECT_EQ(mac.completions, trace.size());
+  EXPECT_EQ(raw.completions, trace.size());
+  EXPECT_LE(mac.packets, raw.packets);
+  EXPECT_EQ(mac.overhead_bytes, mac.packets * kAccessOverheadBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedFuzz,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
+                                           13ull, 21ull, 34ull));
+
+}  // namespace
+}  // namespace mac3d

@@ -1,0 +1,251 @@
+// Unit tests: the twelve evaluation workloads and the graph generator.
+// A parameterized suite enforces the invariants every workload must obey;
+// per-workload tests check characteristic access patterns.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "trace/analyzer.hpp"
+#include "workloads/all.hpp"
+#include "workloads/graph_gen.hpp"
+
+namespace mac3d {
+namespace {
+
+WorkloadParams small_params(std::uint32_t threads = 4) {
+  WorkloadParams params;
+  params.threads = threads;
+  params.scale = 0.05;
+  params.seed = 42;
+  return params;
+}
+
+// ------------------------------------------------------------ registry
+TEST(Registry, HasTwelveWorkloads) {
+  EXPECT_EQ(workload_registry().size(), 12u);
+}
+
+TEST(Registry, NamesAreUniqueAndFindable) {
+  std::set<std::string> names;
+  for (const Workload* workload : workload_registry()) {
+    EXPECT_TRUE(names.insert(workload->name()).second) << workload->name();
+    EXPECT_EQ(find_workload(workload->name()), workload);
+    EXPECT_FALSE(workload->description().empty());
+  }
+  EXPECT_EQ(find_workload("nope"), nullptr);
+  EXPECT_EQ(workload_names().size(), 12u);
+}
+
+// --------------------------------------------------- per-workload invariants
+class WorkloadInvariants : public ::testing::TestWithParam<const Workload*> {};
+
+TEST_P(WorkloadInvariants, ProducesNonEmptyTracePerThread) {
+  const MemoryTrace trace = GetParam()->trace(small_params());
+  EXPECT_GT(trace.size(), 100u);
+  for (std::uint32_t t = 0; t < trace.threads(); ++t) {
+    EXPECT_FALSE(trace.thread(static_cast<ThreadId>(t)).empty())
+        << GetParam()->name() << " thread " << t;
+  }
+}
+
+TEST_P(WorkloadInvariants, IsDeterministic) {
+  const MemoryTrace a = GetParam()->trace(small_params());
+  const MemoryTrace b = GetParam()->trace(small_params());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::uint32_t t = 0; t < a.threads(); ++t) {
+    ASSERT_EQ(a.thread(t), b.thread(t)) << GetParam()->name();
+  }
+}
+
+TEST_P(WorkloadInvariants, SeedChangesRandomWorkloads) {
+  WorkloadParams params = small_params();
+  const MemoryTrace a = GetParam()->trace(params);
+  params.seed = 43;
+  const MemoryTrace b = GetParam()->trace(params);
+  // Traces must still be structurally sane (size may legitimately match).
+  EXPECT_EQ(a.threads(), b.threads());
+}
+
+TEST_P(WorkloadInvariants, AddressesStayInsideTheCube) {
+  const WorkloadParams params = small_params();
+  const MemoryTrace trace = GetParam()->trace(params);
+  for (std::uint32_t t = 0; t < trace.threads(); ++t) {
+    for (const MemRecord& record : trace.thread(t)) {
+      if (record.op == MemOp::kFence) continue;
+      ASSERT_LT(record.addr + record.size, params.config.hmc_capacity)
+          << GetParam()->name();
+    }
+  }
+}
+
+TEST_P(WorkloadInvariants, RecordsAreFlitGranular) {
+  const MemoryTrace trace = GetParam()->trace(small_params());
+  for (std::uint32_t t = 0; t < trace.threads(); ++t) {
+    for (const MemRecord& record : trace.thread(t)) {
+      if (record.op == MemOp::kFence) continue;
+      ASSERT_GT(record.size, 0u);
+      ASSERT_EQ(record.addr / kFlitBytes,
+                (record.addr + record.size - 1) / kFlitBytes)
+          << GetParam()->name();
+    }
+  }
+}
+
+TEST_P(WorkloadInvariants, ScaleGrowsTheTrace) {
+  // Graph workloads grow in threshold steps (R-MAT scale / sweep counts),
+  // so compare across a 40x scale range.
+  WorkloadParams params = small_params();
+  const std::uint64_t small = GetParam()->trace(params).size();
+  params.scale = 2.0;
+  const std::uint64_t large = GetParam()->trace(params).size();
+  EXPECT_GT(large, small) << GetParam()->name();
+}
+
+TEST_P(WorkloadInvariants, HonoursThreadCount) {
+  for (std::uint32_t threads : {2u, 8u}) {
+    const MemoryTrace trace = GetParam()->trace(small_params(threads));
+    EXPECT_EQ(trace.threads(), threads) << GetParam()->name();
+  }
+}
+
+TEST_P(WorkloadInvariants, CountsInstructionsBeyondMemoryOps) {
+  const MemoryTrace trace = GetParam()->trace(small_params());
+  EXPECT_GT(trace.instructions(), trace.size()) << GetParam()->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadInvariants,
+    ::testing::ValuesIn(workload_registry()),
+    [](const ::testing::TestParamInfo<const Workload*>& info) {
+      return info.param->name();
+    });
+
+// ------------------------------------------------- characteristic patterns
+TEST(WorkloadCharacter, SgMixesStreamsAndRandom) {
+  const MemoryTrace trace = sg_workload()->trace(small_params(8));
+  const TraceProfile profile = analyze(trace, small_params().config, 8);
+  // The copy/strided kernels coalesce; the random B accesses do not.
+  EXPECT_GT(profile.ideal_coalescing, 0.3);
+  EXPECT_LT(profile.ideal_coalescing, 0.95);
+}
+
+TEST(WorkloadCharacter, MgIsHighlyCoalescable) {
+  const MemoryTrace trace = mg_workload()->trace(small_params(8));
+  const TraceProfile profile = analyze(trace, small_params().config, 8);
+  EXPECT_GT(profile.ideal_coalescing, 0.7);
+}
+
+TEST(WorkloadCharacter, NqueensIsComputeBound) {
+  const MemoryTrace trace = nqueens_workload()->trace(small_params(8));
+  // Fig. 9: NQueens has the lowest memory intensity of the suite.
+  EXPECT_LT(trace.mem_access_rate(), 0.5);
+  EXPECT_LT(trace.requests_per_instruction(), 0.5);
+}
+
+TEST(WorkloadCharacter, GrappoloAndCcEmitAtomics) {
+  for (const Workload* workload : {grappolo_workload(), gap_cc_workload()}) {
+    const MemoryTrace trace = workload->trace(small_params(4));
+    std::uint64_t atomics = 0;
+    for (std::uint32_t t = 0; t < trace.threads(); ++t) {
+      for (const MemRecord& record : trace.thread(t)) {
+        atomics += record.op == MemOp::kAtomic ? 1 : 0;
+      }
+    }
+    EXPECT_GT(atomics, 0u) << workload->name();
+  }
+}
+
+TEST(WorkloadCharacter, EveryWorkloadEmitsFences) {
+  for (const Workload* workload : workload_registry()) {
+    const MemoryTrace trace = workload->trace(small_params(4));
+    std::uint64_t fences = 0;
+    for (std::uint32_t t = 0; t < trace.threads(); ++t) {
+      for (const MemRecord& record : trace.thread(t)) {
+        fences += record.op == MemOp::kFence ? 1 : 0;
+      }
+    }
+    EXPECT_GT(fences, 0u) << workload->name();
+  }
+}
+
+TEST(WorkloadCharacter, SortStreamsSequentially) {
+  const MemoryTrace trace = sort_workload()->trace(small_params(8));
+  const TraceProfile profile = analyze(trace, small_params().config, 8);
+  EXPECT_GT(profile.ideal_coalescing, 0.5);
+}
+
+// ----------------------------------------------------------- graph_gen
+TEST(GraphGen, RmatShapeAndDeterminism) {
+  const CsrGraph a = make_rmat_graph(10, 8, 1);
+  const CsrGraph b = make_rmat_graph(10, 8, 1);
+  EXPECT_EQ(a.num_vertices, 1024u);
+  EXPECT_EQ(a.offsets.size(), 1025u);
+  EXPECT_EQ(a.targets, b.targets);
+  EXPECT_GT(a.num_edges(), a.num_vertices);  // avg degree > 1 after dedup
+  EXPECT_EQ(a.offsets.back(), a.num_edges());
+}
+
+TEST(GraphGen, RmatIsSkewed) {
+  const CsrGraph graph = make_rmat_graph(12, 8, 7);
+  // R-MAT concentrates edges on low-id hubs: the max degree should be far
+  // above the average.
+  std::uint64_t max_degree = 0;
+  for (std::uint64_t v = 0; v < graph.num_vertices; ++v) {
+    max_degree = std::max(max_degree, graph.degree(v));
+  }
+  const double avg =
+      static_cast<double>(graph.num_edges()) /
+      static_cast<double>(graph.num_vertices);
+  EXPECT_GT(static_cast<double>(max_degree), 8.0 * avg);
+}
+
+TEST(GraphGen, UniformGraphIsNotSkewed) {
+  const CsrGraph graph = make_uniform_graph(4096, 8, 3);
+  std::uint64_t max_degree = 0;
+  for (std::uint64_t v = 0; v < graph.num_vertices; ++v) {
+    max_degree = std::max(max_degree, graph.degree(v));
+  }
+  const double avg =
+      static_cast<double>(graph.num_edges()) /
+      static_cast<double>(graph.num_vertices);
+  EXPECT_LT(static_cast<double>(max_degree), 6.0 * avg);
+}
+
+TEST(GraphGen, GraphsAreSymmetric) {
+  const CsrGraph graph = make_rmat_graph(8, 4, 5);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint64_t u = 0; u < graph.num_vertices; ++u) {
+    for (std::uint64_t i = graph.offsets[u]; i < graph.offsets[u + 1]; ++i) {
+      edges.insert({static_cast<std::uint32_t>(u), graph.targets[i]});
+    }
+  }
+  for (const auto& [u, v] : edges) {
+    EXPECT_TRUE(edges.count({v, u})) << u << "->" << v;
+  }
+}
+
+TEST(GraphGen, EdgeListHalvesSymmetricEdges) {
+  const CsrGraph graph = make_uniform_graph(512, 4, 9);
+  const auto edges = edge_list_of(graph);
+  EXPECT_EQ(edges.size() * 2, graph.num_edges());
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(GraphGen, NoSelfLoops) {
+  const CsrGraph graph = make_rmat_graph(9, 6, 11);
+  for (std::uint64_t u = 0; u < graph.num_vertices; ++u) {
+    for (std::uint64_t i = graph.offsets[u]; i < graph.offsets[u + 1]; ++i) {
+      EXPECT_NE(graph.targets[i], u);
+    }
+  }
+}
+
+TEST(GraphGen, RejectsBadParameters) {
+  EXPECT_THROW(make_rmat_graph(0, 8, 1), std::invalid_argument);
+  EXPECT_THROW(make_rmat_graph(31, 8, 1), std::invalid_argument);
+  EXPECT_THROW(make_uniform_graph(1, 8, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mac3d
