@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
@@ -40,6 +41,7 @@ struct CliOptions {
   std::uint64_t seed = 42;
   bool csv = false;
   bool closed_loop = false;
+  bool checks = false;
   std::vector<std::string> overrides;
 };
 
@@ -56,6 +58,8 @@ void usage() {
                "  --set key=value   config override (repeatable)\n"
                "  --closed-loop     execution-driven feed (default: "
                "streaming)\n"
+               "  --checks          run model-invariant checks "
+               "(docs/INVARIANTS.md)\n"
                "  --csv             machine-readable output\n");
 }
 
@@ -100,6 +104,8 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       options.csv = true;
     } else if (arg == "--closed-loop") {
       options.closed_loop = true;
+    } else if (arg == "--checks") {
+      options.checks = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return std::nullopt;
@@ -145,6 +151,15 @@ int cmd_run(const CliOptions& options) {
   DriveOptions drive;
   drive.mode = options.closed_loop ? FeedMode::kClosedLoop
                                    : FeedMode::kStreaming;
+  CheckContext checks(CheckContext::FailMode::kCount);
+  if (options.checks) {
+#if !MAC3D_CHECKS_ENABLED
+    std::fprintf(stderr,
+                 "mac3d: warning: built with -DMAC3D_CHECKS=OFF; "
+                 "--checks will run no checks\n");
+#endif
+    drive.checks = &checks;
+  }
 
   std::vector<DriverResult> results;
   for (const std::string& path : options.paths) {
@@ -165,8 +180,9 @@ int cmd_run(const CliOptions& options) {
     for (const DriverResult& result : results) {
       result.collect(stats, result.path);
     }
+    if (options.checks) checks.collect(stats, "checks");
     std::cout << stats.to_csv();
-    return 0;
+    return options.checks && checks.violations() != 0 ? 1 : 0;
   }
 
   print_banner("mac3d run: " +
@@ -194,6 +210,10 @@ int cmd_run(const CliOptions& options) {
                   results[i].path.c_str(),
                   Table::pct(memory_speedup(results[0], results[i])).c_str());
     }
+  }
+  if (options.checks) {
+    std::printf("\n%s", checks.report().c_str());
+    return checks.violations() == 0 ? 0 : 1;
   }
   return 0;
 }

@@ -35,8 +35,8 @@ int main() {
   }
   table.print();
   std::printf("average transaction-latency speedup: MAC %s vs MSHR %s\n",
-              Table::pct(mac_sum / runs.size()).c_str(),
-              Table::pct(mshr_sum / runs.size()).c_str());
+              Table::pct(mac_sum / static_cast<double>(runs.size())).c_str(),
+              Table::pct(mshr_sum / static_cast<double>(runs.size())).c_str());
   std::printf(
       "MSHR packets are fixed 64 B (bandwidth efficiency cap %s); the MAC\n"
       "adapts 64-256 B per row (cap %s).\n",

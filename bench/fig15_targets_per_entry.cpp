@@ -27,7 +27,7 @@ int main() {
   std::printf("entry capacity: %u targets (%u B entry, 4.5 B per target)\n",
               config.max_targets_per_entry(), config.arq_entry_bytes);
   print_reference("suite average", "2.13",
-                  Table::fmt(sum / runs.size(), 2));
+                  Table::fmt(sum / static_cast<double>(runs.size()), 2));
   print_reference("largest per-workload average", "3.14", Table::fmt(best, 2));
   return 0;
 }

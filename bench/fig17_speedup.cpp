@@ -26,7 +26,7 @@ int main() {
   }
   table.print();
   print_reference("average speedup", "60.73%",
-                  Table::pct(sum / runs.size()));
+                  Table::pct(sum / static_cast<double>(runs.size())));
   print_reference("top performers", "> 70% (MG, GRAPPOLO, SG, SPARSELU)",
                   "see table");
   return 0;

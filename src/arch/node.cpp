@@ -25,6 +25,12 @@ void Node::add_thread(ThreadId tid, const std::vector<MemRecord>* records) {
   cores_.at(thread_core_->at(tid)).add_thread(tid, records);
 }
 
+void Node::attach_checks(CheckContext* context) {
+  device_->attach_checks(context);
+  mac_->attach_checks(context, "node" + std::to_string(id_) + ".mac");
+  router_->attach_checks(context);
+}
+
 void Node::tick(Cycle now, Interconnect* fabric) {
   // 1. Interconnect arrivals.
   if (fabric != nullptr) {

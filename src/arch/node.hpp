@@ -56,6 +56,11 @@ class Node {
 
   void collect(StatSet& out, const std::string& prefix) const;
 
+  /// Enable model-invariant checking on this node's device, MAC and router
+  /// (docs/INVARIANTS.md). The context must outlive the node; pass nullptr
+  /// to detach.
+  void attach_checks(CheckContext* context);
+
  private:
   void dispatch_completion(const CompletedAccess& completion, Cycle now,
                            Interconnect* fabric);

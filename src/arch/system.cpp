@@ -14,6 +14,10 @@ System::System(const SimConfig& config) : config_(config) {
   }
 }
 
+void System::attach_checks(CheckContext* context) {
+  for (const auto& node : nodes_) node->attach_checks(context);
+}
+
 void System::attach_trace(const MemoryTrace& trace) {
   const std::uint32_t threads = trace.threads();
   thread_owner_.resize(threads);

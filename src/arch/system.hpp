@@ -43,6 +43,11 @@ class System {
   }
   [[nodiscard]] Interconnect& fabric() noexcept { return *fabric_; }
 
+  /// Enable model-invariant checking on every node (docs/INVARIANTS.md).
+  /// The context must outlive the system; run context.finalize() before
+  /// destroying the system. Pass nullptr to detach.
+  void attach_checks(CheckContext* context);
+
  private:
   SimConfig config_;
   std::vector<NodeId> thread_owner_;

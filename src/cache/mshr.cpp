@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/check.hpp"
+#include "check/conservation.hpp"
 #include "common/bitutil.hpp"
 
 namespace mac3d {
@@ -17,6 +19,20 @@ MshrCoalescer::MshrCoalescer(const SimConfig& config, HmcDevice& device,
   assert(block_bytes >= kFlitBytes && block_bytes <= config.row_bytes);
 }
 
+MshrCoalescer::~MshrCoalescer() = default;
+
+void MshrCoalescer::attach_checks(CheckContext* context,
+                                  const std::string& scope) {
+  if (context == nullptr) {
+    conservation_.reset();
+    return;
+  }
+  conservation_ = std::make_unique<ConservationChecker>(*context, scope);
+  context->on_finalize([this](CheckContext&) {
+    if (conservation_ != nullptr) conservation_->finalize(last_cycle_);
+  });
+}
+
 bool MshrCoalescer::can_accept() const noexcept {
   // Conservative: require a free entry (a merging request would not need
   // one, but the allocation decision must be guaranteed up front), and no
@@ -25,6 +41,16 @@ bool MshrCoalescer::can_accept() const noexcept {
 }
 
 bool MshrCoalescer::try_accept(const RawRequest& request, Cycle now) {
+  const bool accepted = intake(request, now);
+#if MAC3D_CHECKS_ENABLED
+  if (accepted && conservation_ != nullptr) {
+    conservation_->on_accept(request.tid, request.tag, request.op, now);
+  }
+#endif
+  return accepted;
+}
+
+bool MshrCoalescer::intake(const RawRequest& request, Cycle now) {
   const bool merge_free = merge_port_used_at_ != now;
   const bool alloc_free = alloc_port_used_at_ != now;
 
@@ -96,6 +122,7 @@ void MshrCoalescer::accept(const RawRequest& request, Cycle now) {
 }
 
 void MshrCoalescer::tick(Cycle now) {
+  last_cycle_ = now;
   // Retire a pending barrier once everything older has drained.
   if (barrier_pending_ > 0 && file_.empty() && dispatch_queue_.empty() &&
       in_flight_.empty()) {
@@ -158,6 +185,14 @@ std::vector<CompletedAccess> MshrCoalescer::drain(Cycle now) {
     atomic_keys_.erase(key);
     file_.erase(it);
   }
+#if MAC3D_CHECKS_ENABLED
+  if (conservation_ != nullptr) {
+    for (const CompletedAccess& done : out) {
+      conservation_->on_complete(done.target.tid, done.target.tag, done.fence,
+                                 now);
+    }
+  }
+#endif
   return out;
 }
 

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -21,6 +23,9 @@
 #include "mem/hmc_device.hpp"
 
 namespace mac3d {
+
+class CheckContext;
+class ConservationChecker;
 
 struct MshrStats {
   std::uint64_t raw_in = 0;
@@ -41,6 +46,9 @@ class MshrCoalescer {
   /// `entries`: MSHR file size; `block_bytes`: fixed transaction size.
   MshrCoalescer(const SimConfig& config, HmcDevice& device,
                 std::uint32_t entries = 32, std::uint32_t block_bytes = 64);
+  ~MshrCoalescer();
+  MshrCoalescer(const MshrCoalescer&) = delete;
+  MshrCoalescer& operator=(const MshrCoalescer&) = delete;
 
   [[nodiscard]] bool can_accept() const noexcept;
   /// Dual-ported intake symmetric with MacCoalescer: one merge and one
@@ -54,6 +62,10 @@ class MshrCoalescer {
 
   [[nodiscard]] const MshrStats& stats() const noexcept { return stats_; }
 
+  /// Enable request/response conservation checking (docs/INVARIANTS.md
+  /// §conservation). Same contract as MacCoalescer::attach_checks.
+  void attach_checks(CheckContext* context, const std::string& scope = "mshr");
+
  private:
   struct Entry {
     Address block = 0;
@@ -66,6 +78,8 @@ class MshrCoalescer {
   static std::uint64_t entry_key(Address block, bool write) noexcept {
     return block | (write ? 1ull : 0ull);
   }
+
+  [[nodiscard]] bool intake(const RawRequest& request, Cycle now);
 
   SimConfig config_;
   HmcDevice& device_;
@@ -82,7 +96,9 @@ class MshrCoalescer {
   Cycle alloc_port_used_at_ = ~Cycle{0};
   std::vector<CompletedAccess> ready_completions_;
   TransactionId next_txn_ = 1;
+  Cycle last_cycle_ = 0;
   MshrStats stats_;
+  std::unique_ptr<ConservationChecker> conservation_;
 };
 
 }  // namespace mac3d

@@ -1,0 +1,71 @@
+#include "check/conservation.hpp"
+
+#include <sstream>
+
+#include "check/invariants.hpp"
+
+namespace mac3d {
+
+std::string ConservationChecker::describe(ThreadId tid, Tag tag,
+                                          const char* what) const {
+  std::ostringstream out;
+  out << scope_ << ": " << what << " tid=" << tid << " tag=" << tag
+      << " (in flight: " << in_flight_.size() << ")";
+  return out.str();
+}
+
+void ConservationChecker::on_accept(ThreadId tid, Tag tag, MemOp op,
+                                    Cycle now) {
+  const auto [it, inserted] =
+      in_flight_.try_emplace(key(tid, tag), Pending{next_seq_++, op, now});
+  if (!inserted) {
+    context_->fail(inv::kDuplicateInFlight, now,
+                   describe(tid, tag, "tag reused while still in flight,"));
+    it->second = Pending{next_seq_ - 1, op, now};
+  }
+}
+
+void ConservationChecker::on_complete(ThreadId tid, Tag tag, bool fence,
+                                      Cycle now) {
+  const auto it = in_flight_.find(key(tid, tag));
+  if (it == in_flight_.end()) {
+    context_->fail(inv::kOrphanCompletion, now,
+                   describe(tid, tag, "completion without in-flight request,"));
+    return;
+  }
+  const std::uint64_t seq = it->second.seq;
+  const bool was_fence = it->second.op == MemOp::kFence;
+  in_flight_.erase(it);
+  if (!fence && !was_fence) return;
+
+  // Fence ordering (Sec. 4.1): when a fence retires, no request accepted
+  // before it may still be in flight.
+  for (const auto& [other_key, pending] : in_flight_) {
+    if (pending.seq < seq) {
+      std::ostringstream out;
+      out << scope_ << ": fence tid=" << tid << " tag=" << tag
+          << " (accept seq " << seq << ") retired while older "
+          << to_string(pending.op) << " tid=" << (other_key >> 16)
+          << " tag=" << (other_key & 0xffffu) << " (accept seq "
+          << pending.seq << ", accepted cycle " << pending.accepted
+          << ") is still in flight";
+      context_->fail(inv::kFenceOrdering, now, out.str());
+      return;  // one dump per fence is enough
+    }
+  }
+}
+
+void ConservationChecker::finalize(Cycle now) {
+  for (const auto& [flight_key, pending] : in_flight_) {
+    std::ostringstream out;
+    out << scope_ << ": " << to_string(pending.op)
+        << " tid=" << (flight_key >> 16) << " tag=" << (flight_key & 0xffffu)
+        << " accepted at cycle " << pending.accepted
+        << " never completed (run ended with " << in_flight_.size()
+        << " request(s) in flight)";
+    context_->fail(inv::kOneCompletion, now, out.str());
+  }
+  in_flight_.clear();
+}
+
+}  // namespace mac3d

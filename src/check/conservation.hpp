@@ -1,0 +1,64 @@
+// Request/response conservation and fence-ordering checker.
+//
+// Tracks every raw request a memory path accepts by its (tid, tag) identity
+// and verifies the laws of docs/INVARIANTS.md §conservation:
+//   * one completion per accepted request, none left at end of run;
+//   * completions match an in-flight request (no orphans/duplicates);
+//   * a fence retires only after every older accepted request completed
+//     (Sec. 4.1 — checked against acceptance order, not completion order).
+//
+// One instance guards one path (MAC, raw, MSHR, or one node's MAC); attach
+// via the path's attach_checks(). The O(n) fence scan and the hash map are
+// check-build costs only — nothing here runs without an attached context.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "check/check.hpp"
+#include "common/types.hpp"
+
+namespace mac3d {
+
+class ConservationChecker {
+ public:
+  /// `scope` names the guarded path in failure dumps, e.g. "mac" or
+  /// "node0.mac". The context must outlive the checker.
+  ConservationChecker(CheckContext& context, std::string scope)
+      : context_(&context), scope_(std::move(scope)) {}
+
+  /// A raw request (or fence) entered the path at `now`.
+  void on_accept(ThreadId tid, Tag tag, MemOp op, Cycle now);
+
+  /// A completion (or fence retirement) left the path at `now`.
+  void on_complete(ThreadId tid, Tag tag, bool fence, Cycle now);
+
+  /// End of run: everything accepted must have completed.
+  void finalize(Cycle now);
+
+  [[nodiscard]] std::uint64_t in_flight() const noexcept {
+    return in_flight_.size();
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t seq = 0;  ///< acceptance order (fence-ordering check)
+    MemOp op = MemOp::kLoad;
+    Cycle accepted = 0;
+  };
+
+  static std::uint32_t key(ThreadId tid, Tag tag) noexcept {
+    return (static_cast<std::uint32_t>(tid) << 16) | tag;
+  }
+
+  [[nodiscard]] std::string describe(ThreadId tid, Tag tag,
+                                     const char* what) const;
+
+  CheckContext* context_;
+  std::string scope_;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<std::uint32_t, Pending> in_flight_;
+};
+
+}  // namespace mac3d

@@ -1,0 +1,117 @@
+// FLIT-table and Request-Builder checkers: byte conservation per entry,
+// table capacity, and no orphaned FLIT ids (docs/INVARIANTS.md §builder).
+//
+// Header-only; included by mac/ sources (the check core deliberately does
+// not link against mac/, so these helpers live with the call sites).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+
+#include "check/check.hpp"
+#include "check/invariants.hpp"
+#include "common/bitutil.hpp"
+#include "common/types.hpp"
+#include "mac/flit_map.hpp"
+#include "mac/flit_table.hpp"
+#include "mem/packet.hpp"
+
+namespace mac3d {
+
+/// Static validation of a freshly built FLIT table: 2^groups entries, and
+/// every entry a legal packet shape that covers its pattern's group span.
+/// Run once at attach time (the table is immutable afterwards).
+inline void check_flit_table(const FlitTable& table, std::uint32_t row_bytes,
+                             std::uint32_t min_bytes, CheckContext& context) {
+  context.count_check();
+  const std::uint32_t groups = table.groups();
+  const auto expected_entries = std::uint32_t{1} << groups;
+  if (table.entries() != expected_entries) {
+    std::ostringstream out;
+    out << "FLIT table has " << table.entries() << " entries, expected 2^"
+        << groups << " = " << expected_entries;
+    context.fail(inv::kFlitTableCapacity, 0, out.str());
+    return;  // per-entry checks below index by pattern
+  }
+  for (std::uint32_t pattern = 1; pattern < expected_entries; ++pattern) {
+    const PacketShape shape = table.lookup(pattern);
+    context.count_check();
+    const bool size_legal = shape.size_bytes >= min_bytes &&
+                            shape.size_bytes <= row_bytes &&
+                            shape.size_bytes % min_bytes == 0 &&
+                            is_pow2(shape.size_bytes / min_bytes);
+    const bool offset_legal = shape.offset_bytes % min_bytes == 0 &&
+                              shape.offset_bytes + shape.size_bytes <=
+                                  row_bytes;
+    if (!size_legal || !offset_legal) {
+      std::ostringstream out;
+      out << "pattern 0x" << std::hex << pattern << std::dec << " -> size "
+          << shape.size_bytes << " B offset " << shape.offset_bytes
+          << " B is not a legal packet for " << row_bytes << " B rows / "
+          << min_bytes << " B granularity";
+      context.fail(inv::kFlitTableShape, 0, out.str());
+      continue;
+    }
+    // Byte conservation at table level: the entry must span every active
+    // group of the pattern (first to last set bit).
+    context.count_check();
+    const std::uint32_t first_byte = lowest_bit(pattern) * min_bytes;
+    const std::uint32_t last_byte = (highest_bit(pattern) + 1) * min_bytes;
+    if (shape.offset_bytes > first_byte ||
+        shape.offset_bytes + shape.size_bytes < last_byte) {
+      std::ostringstream out;
+      out << "pattern 0x" << std::hex << pattern << std::dec << " spans ["
+          << first_byte << ", " << last_byte << ") but entry covers ["
+          << shape.offset_bytes << ", "
+          << shape.offset_bytes + shape.size_bytes << ")";
+      context.fail(inv::kFlitCoverage, 0, out.str());
+    }
+  }
+}
+
+/// Verify one assembled packet against the ARQ entry it was built from:
+/// the packet's byte range covers every requested FLIT, no target was
+/// dropped or invented, and no target references a FLIT outside the map.
+/// `flits` and `row` come from the source entry (still valid after its
+/// target list moved into the packet); `entry_target_count` is the entry's
+/// target count before the move. `row_offset` is the packet's start offset
+/// within the DRAM row.
+inline void check_built_packet(const FlitMap& flits, std::uint64_t row,
+                               std::size_t entry_target_count,
+                               const HmcRequest& packet,
+                               std::uint32_t row_offset, Cycle now,
+                               CheckContext& context) {
+  context.count_check();
+  if (packet.targets.size() != entry_target_count) {
+    std::ostringstream out;
+    out << "row " << row << ": entry held " << entry_target_count
+        << " targets, packet carries " << packet.targets.size();
+    context.fail(inv::kBuilderTargetConservation, now, out.str());
+  }
+  const std::uint32_t end_offset = row_offset + packet.data_bytes;
+  for (std::uint32_t flit = 0; flit < flits.size(); ++flit) {
+    if (!flits.test(flit)) continue;
+    context.count_check();
+    const std::uint32_t byte = flit * kFlitBytes;
+    if (byte < row_offset || byte >= end_offset) {
+      std::ostringstream out;
+      out << "row " << row << ": requested FLIT " << flit << " (byte "
+          << byte << ") not covered by packet [" << row_offset << ", "
+          << end_offset << ") of " << packet.data_bytes << " B";
+      context.fail(inv::kFlitCoverage, now, out.str());
+    }
+  }
+  for (const Target& target : packet.targets) {
+    context.count_check();
+    if (target.flit >= flits.size() || !flits.test(target.flit)) {
+      std::ostringstream out;
+      out << "row " << row << ": target tid=" << target.tid
+          << " tag=" << target.tag << " references FLIT "
+          << static_cast<unsigned>(target.flit)
+          << " which is not set in the entry's FLIT map";
+      context.fail(inv::kOrphanFlitId, now, out.str());
+    }
+  }
+}
+
+}  // namespace mac3d

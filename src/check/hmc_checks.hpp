@@ -1,0 +1,104 @@
+// HMC device checkers: closed-page bank state-machine legality and
+// per-packet header+tail accounting (docs/INVARIANTS.md §hmc).
+//
+// Header-only and expressed over plain integers so mem/ can include it
+// without a dependency cycle; HmcDevice calls these from submit() when a
+// CheckContext is attached.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/invariants.hpp"
+#include "common/types.hpp"
+
+namespace mac3d {
+
+/// Tracks per-bank scheduling history to verify serialization. One
+/// instance per HmcDevice, created by attach_checks().
+class HmcChecker {
+ public:
+  HmcChecker(CheckContext& context, std::size_t banks)
+      : context_(&context), bank_free_at_(banks, 0) {}
+
+  /// Verify one bank schedule decision. `free_at_after` is the bank's
+  /// free_at() after the access (data_ready + precharge for closed page).
+  void on_bank_access(std::size_t bank, Cycle arrival, Cycle start,
+                      Cycle data_ready, Cycle free_at_after, bool conflict,
+                      Cycle now) {
+    context_->count_check();
+    const Cycle prev_free_at = bank_free_at_.at(bank);
+    if (start < arrival || start < prev_free_at || data_ready <= start ||
+        free_at_after < data_ready) {
+      std::ostringstream out;
+      out << "bank " << bank << ": arrival=" << arrival << " start=" << start
+          << " data_ready=" << data_ready << " free_at_after=" << free_at_after
+          << " prev_free_at=" << prev_free_at;
+      context_->fail(inv::kBankLegal, now, out.str());
+    }
+    context_->count_check();
+    if (conflict != (arrival < prev_free_at)) {
+      std::ostringstream out;
+      out << "bank " << bank << ": conflict flag " << conflict
+          << " but arrival=" << arrival << " vs prev_free_at=" << prev_free_at;
+      context_->fail(inv::kBankConflictFlag, now, out.str());
+    }
+    bank_free_at_.at(bank) = free_at_after;
+  }
+
+  /// Verify one packet's link accounting and response causality.
+  /// `wire_bytes` is what the device charged to the links for the whole
+  /// access; Eq. 1 demands payload + exactly 32 B of header+tail control.
+  void on_packet(std::uint32_t data_bytes, bool write,
+                 std::uint32_t req_flits, std::uint32_t resp_flits,
+                 std::uint64_t wire_bytes, Cycle submitted, Cycle data_ready,
+                 Cycle completed) {
+    context_->count_check();
+    const std::uint32_t payload_flits = (data_bytes + kFlitBytes - 1) / kFlitBytes;
+    const std::uint64_t expected_wire =
+        static_cast<std::uint64_t>(payload_flits + 2) * kFlitBytes;
+    const bool flit_split_ok = write ? (req_flits == 1 + payload_flits &&
+                                        resp_flits == 1)
+                                     : (req_flits == 1 &&
+                                        resp_flits == 1 + payload_flits);
+    if (wire_bytes != expected_wire ||
+        wire_bytes != data_bytes + kAccessOverheadBytes || !flit_split_ok) {
+      std::ostringstream out;
+      out << (write ? "write" : "read") << " " << data_bytes
+          << " B: req_flits=" << req_flits << " resp_flits=" << resp_flits
+          << " wire_bytes=" << wire_bytes << " expected "
+          << expected_wire << " (payload + 32 B control)";
+      context_->fail(inv::kPacketOverhead, submitted, out.str());
+    }
+    context_->count_check();
+    if (completed <= submitted || completed < data_ready) {
+      std::ostringstream out;
+      out << "response completed=" << completed << " submitted=" << submitted
+          << " bank data_ready=" << data_ready;
+      context_->fail(inv::kResponseCausality, submitted, out.str());
+    }
+  }
+
+  /// Verify a de-coalesced target lies inside the packet's byte range.
+  /// `packet_row_offset` is the packet's start offset within its DRAM row.
+  void on_target(std::uint8_t flit, std::uint32_t packet_row_offset,
+                 std::uint32_t data_bytes, Cycle now) {
+    context_->count_check();
+    const std::uint32_t byte = static_cast<std::uint32_t>(flit) * kFlitBytes;
+    if (byte < packet_row_offset || byte >= packet_row_offset + data_bytes) {
+      std::ostringstream out;
+      out << "target flit " << static_cast<unsigned>(flit)
+          << " (row byte " << byte << ") outside packet [" << packet_row_offset
+          << ", " << packet_row_offset + data_bytes << ")";
+      context_->fail(inv::kTargetInPacket, now, out.str());
+    }
+  }
+
+ private:
+  CheckContext* context_;
+  std::vector<Cycle> bank_free_at_;
+};
+
+}  // namespace mac3d

@@ -1,0 +1,142 @@
+// Catalog of model invariants (the full prose catalog, with the paper
+// sections each law encodes, is docs/INVARIANTS.md — keep the two in sync).
+//
+// Identity is the constant's address; the dotted id is the stable name
+// used in stats output ("checks.violations.<id>") and reports.
+#pragma once
+
+#include "check/check.hpp"
+
+namespace mac3d::inv {
+
+// ---- Conservation (request/response matching) ---------------------------
+
+inline constexpr Invariant kOneCompletion{
+    "conservation.one_completion",
+    "every raw request accepted by a memory path produces exactly one "
+    "completion by the end of the run",
+    "Sec. 3.2/4.4", Severity::kError};
+
+inline constexpr Invariant kOrphanCompletion{
+    "conservation.orphan_completion",
+    "a completion's (tid, tag) matches a request that is in flight",
+    "Sec. 4.1.1", Severity::kError};
+
+inline constexpr Invariant kDuplicateInFlight{
+    "conservation.duplicate_in_flight",
+    "(tid, tag) is unique among in-flight raw requests",
+    "Sec. 4.1.1", Severity::kError};
+
+inline constexpr Invariant kFenceOrdering{
+    "conservation.fence_ordering",
+    "a fence retires only after every older request of the path completed",
+    "Sec. 4.1", Severity::kFatal};
+
+// ---- ARQ (Raw Request Aggregator) ---------------------------------------
+
+inline constexpr Invariant kArqOccupancy{
+    "arq.occupancy_bound",
+    "ARQ occupancy never exceeds the configured entry count",
+    "Sec. 4.1/Table 1", Severity::kFatal};
+
+inline constexpr Invariant kArqTargetCap{
+    "arq.target_capacity",
+    "an ARQ entry holds at most (entry_bytes - addr/map bytes)/4.5 targets",
+    "Sec. 5.3.3", Severity::kError};
+
+inline constexpr Invariant kArqBBit{
+    "arq.b_bit_legality",
+    "B (bypass) bit is set iff the entry holds exactly one raw request",
+    "Sec. 4.1.2", Severity::kError};
+
+inline constexpr Invariant kArqTBit{
+    "arq.t_bit_legality",
+    "loads and stores never merge into the same entry (T-bit extension)",
+    "Sec. 4.1.2", Severity::kError};
+
+inline constexpr Invariant kArqFenceBlocksMerge{
+    "arq.fence_blocks_merge",
+    "no merge happens while a fence is pending (comparators disabled)",
+    "Sec. 4.1", Severity::kError};
+
+inline constexpr Invariant kArqFlitMapConsistent{
+    "arq.flit_map_consistent",
+    "every merged target's FLIT id is set in the entry's FLIT map and "
+    "within the row",
+    "Sec. 4.1.1", Severity::kError};
+
+// ---- Request Builder / FLIT table ---------------------------------------
+
+inline constexpr Invariant kFlitTableCapacity{
+    "builder.flit_table_capacity",
+    "the FLIT table holds exactly 2^groups entries (16 for 256 B rows)",
+    "Sec. 4.2.1/Fig. 8", Severity::kFatal};
+
+inline constexpr Invariant kFlitTableShape{
+    "builder.flit_table_shape",
+    "every table entry is a legal packet: size a power-of-two multiple of "
+    "the 64 B granularity, offset aligned, packet inside the row",
+    "Sec. 4.2.1", Severity::kFatal};
+
+inline constexpr Invariant kFlitCoverage{
+    "builder.flit_coverage",
+    "a built packet's byte range covers every FLIT requested in the "
+    "entry's map (byte conservation per entry)",
+    "Sec. 4.2.1/Fig. 8", Severity::kFatal};
+
+inline constexpr Invariant kBuilderTargetConservation{
+    "builder.target_conservation",
+    "packet assembly forwards every merged target (none dropped or added)",
+    "Sec. 4.2", Severity::kError};
+
+inline constexpr Invariant kOrphanFlitId{
+    "builder.orphan_flit_id",
+    "no packet target references a FLIT id outside the packet's range",
+    "Sec. 4.1.1", Severity::kError};
+
+// ---- HMC device ----------------------------------------------------------
+
+inline constexpr Invariant kPacketOverhead{
+    "hmc.packet_overhead",
+    "each access moves payload + exactly one header+tail FLIT per packet "
+    "(32 B control per request/response pair, Eq. 1)",
+    "Sec. 2.2.2", Severity::kError};
+
+inline constexpr Invariant kBankLegal{
+    "hmc.bank_state_machine",
+    "closed-page bank accesses serialize: an access starts at or after "
+    "its arrival and after the previous access's precharge completed",
+    "Sec. 2.2.1", Severity::kFatal};
+
+inline constexpr Invariant kBankConflictFlag{
+    "hmc.bank_conflict_flag",
+    "the conflict flag is raised iff the arrival found the bank busy",
+    "Sec. 2.2.1", Severity::kWarning};
+
+inline constexpr Invariant kResponseCausality{
+    "hmc.response_causality",
+    "a response completes strictly after its request was submitted and "
+    "after its bank access finished",
+    "Sec. 2.2", Severity::kFatal};
+
+inline constexpr Invariant kTargetInPacket{
+    "hmc.target_in_packet",
+    "every target de-coalesced from a packet lies inside the packet's "
+    "byte range",
+    "Sec. 4.2", Severity::kError};
+
+// ---- Routers (node fabric) ----------------------------------------------
+
+inline constexpr Invariant kRouterClassification{
+    "router.target_matching",
+    "a request is queued locally iff its home node is this node (fences "
+    "are always local); remote-in requests are homed here",
+    "Sec. 3.1", Severity::kError};
+
+inline constexpr Invariant kRouterConservation{
+    "router.no_dropped_tids",
+    "every routed request is eventually popped: queues drain by the end "
+    "of the run and pushes balance pops",
+    "Sec. 3.1", Severity::kError};
+
+}  // namespace mac3d::inv

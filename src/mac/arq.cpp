@@ -1,8 +1,25 @@
 #include "mac/arq.hpp"
 
 #include <cassert>
+#include <sstream>
+
+#include "check/check.hpp"
+#include "check/invariants.hpp"
 
 namespace mac3d {
+
+namespace {
+
+std::string describe_entry(const ArqEntry& entry) {
+  std::ostringstream out;
+  out << "entry row=" << entry.row << " store=" << entry.is_store
+      << " fence=" << entry.is_fence << " atomic=" << entry.is_atomic
+      << " bypass=" << entry.bypass << " targets=" << entry.targets.size()
+      << " flit_map=0x" << std::hex << entry.flits.raw();
+  return out.str();
+}
+
+}  // namespace
 
 Arq::Arq(const SimConfig& config, const AddressMap& map)
     : map_(map),
@@ -96,6 +113,18 @@ Arq::InsertResult Arq::insert(const RawRequest& request, Cycle now,
       entry.bypass = false;  // >= 2 requests: B bit cleared
       ++stats_.inserted;
       ++stats_.merged;
+      MAC3D_CHECK(checks_, inv::kArqFenceBlocksMerge, fence_count_ == 0, now,
+                  "merge happened while " + std::to_string(fence_count_) +
+                      " fence(s) pending: " + describe_entry(entry));
+      MAC3D_CHECK(checks_, inv::kArqTBit,
+                  is_coalescable(request.op) && entry.is_store == is_store,
+                  now,
+                  std::string("merged ") + std::string(to_string(request.op)) +
+                      " into " + describe_entry(entry));
+      MAC3D_CHECK(checks_, inv::kArqTargetCap,
+                  entry.targets.size() <= max_targets_, now,
+                  describe_entry(entry) + " exceeds max_targets=" +
+                      std::to_string(max_targets_));
       return InsertResult::kMerged;
     }
   }
@@ -120,6 +149,9 @@ Arq::InsertResult Arq::insert(const RawRequest& request, Cycle now,
   entries_.push_back(std::move(entry));
   ++stats_.inserted;
   ++stats_.allocated;
+  MAC3D_CHECK(checks_, inv::kArqOccupancy, entries_.size() <= capacity_, now,
+              "occupancy " + std::to_string(entries_.size()) +
+                  " exceeds capacity " + std::to_string(capacity_));
   return InsertResult::kAllocated;
 }
 
@@ -133,9 +165,32 @@ ArqEntry Arq::pop() {
   } else {
     stats_.targets_per_entry.add(static_cast<double>(entry.targets.size()));
     stats_.popped_bypass += entry.bypass ? 1 : 0;
+#if MAC3D_CHECKS_ENABLED
+    if (checks_ != nullptr) check_popped_entry(entry);
+#endif
   }
   ++stats_.popped;
   return entry;
 }
+
+#if MAC3D_CHECKS_ENABLED
+// B-bit and FLIT-map legality of a non-fence entry leaving the queue
+// (docs/INVARIANTS.md §arq).
+void Arq::check_popped_entry(const ArqEntry& entry) {
+  MAC3D_CHECK(checks_, inv::kArqBBit,
+              entry.bypass == (entry.targets.size() == 1) &&
+                  (!entry.is_atomic || entry.bypass),
+              entry.allocated_at, describe_entry(entry));
+  bool map_consistent = entry.flits.count() >= 1 &&
+                        entry.flits.count() <= entry.targets.size();
+  for (const Target& target : entry.targets) {
+    if (target.flit >= flits_per_row_ || !entry.flits.test(target.flit)) {
+      map_consistent = false;
+    }
+  }
+  MAC3D_CHECK(checks_, inv::kArqFlitMapConsistent, map_consistent,
+              entry.allocated_at, describe_entry(entry));
+}
+#endif
 
 }  // namespace mac3d

@@ -29,6 +29,8 @@
 
 namespace mac3d {
 
+class CheckContext;
+
 /// One ARQ entry.
 struct ArqEntry {
   std::uint64_t row = 0;       ///< DRAM row number (node-local)
@@ -106,6 +108,10 @@ class Arq {
 
   [[nodiscard]] const ArqStats& stats() const noexcept { return stats_; }
 
+  /// Enable model-invariant checking (docs/INVARIANTS.md §arq). The
+  /// context must outlive the queue; pass nullptr to detach.
+  void attach_checks(CheckContext* context) noexcept { checks_ = context; }
+
   /// Hardware storage of the queue in bytes (Fig. 16): entries * entry size.
   [[nodiscard]] std::uint64_t storage_bytes() const noexcept {
     return static_cast<std::uint64_t>(capacity_) * entry_bytes_;
@@ -118,6 +124,8 @@ class Arq {
   }
 
  private:
+  void check_popped_entry(const ArqEntry& entry);
+
   const AddressMap& map_;
   std::size_t capacity_;
   std::uint32_t entry_bytes_;
@@ -129,6 +137,7 @@ class Arq {
   std::uint32_t fence_count_ = 0;
   std::deque<ArqEntry> entries_;
   ArqStats stats_;
+  CheckContext* checks_ = nullptr;
 };
 
 }  // namespace mac3d

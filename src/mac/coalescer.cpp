@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/check.hpp"
+#include "check/conservation.hpp"
+
 namespace mac3d {
 
 void MacStats::collect(StatSet& out, const std::string& prefix) const {
@@ -29,6 +32,23 @@ MacCoalescer::MacCoalescer(const SimConfig& config, HmcDevice& device)
   config_.validate();
 }
 
+MacCoalescer::~MacCoalescer() = default;
+
+void MacCoalescer::attach_checks(CheckContext* context,
+                                 const std::string& scope) {
+  checks_ = context;
+  arq_.attach_checks(context);
+  builder_.attach_checks(context);
+  if (context == nullptr) {
+    conservation_.reset();
+    return;
+  }
+  conservation_ = std::make_unique<ConservationChecker>(*context, scope);
+  context->on_finalize([this](CheckContext&) {
+    if (conservation_ != nullptr) conservation_->finalize(last_tick_);
+  });
+}
+
 bool MacCoalescer::try_accept(const RawRequest& request, Cycle now) {
   const bool merge_free = merge_port_used_at_ != now;
   const bool alloc_free = alloc_port_used_at_ != now;
@@ -53,6 +73,11 @@ bool MacCoalescer::try_accept(const RawRequest& request, Cycle now) {
     ++stats_.raw_in;
   }
   accept_cycle_[key(Target{request.tid, request.tag, 0})] = now;
+#if MAC3D_CHECKS_ENABLED
+  if (conservation_ != nullptr) {
+    conservation_->on_accept(request.tid, request.tag, request.op, now);
+  }
+#endif
   return true;
 }
 
@@ -179,6 +204,14 @@ std::vector<CompletedAccess> MacCoalescer::drain(Cycle now) {
     }
   }
   stats_.completions += out.size();
+#if MAC3D_CHECKS_ENABLED
+  if (conservation_ != nullptr) {
+    for (const CompletedAccess& done : out) {
+      conservation_->on_complete(done.target.tid, done.target.tag, done.fence,
+                                 now);
+    }
+  }
+#endif
   return out;
 }
 

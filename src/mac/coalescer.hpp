@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +26,9 @@
 #include "mem/hmc_device.hpp"
 
 namespace mac3d {
+
+class CheckContext;
+class ConservationChecker;
 
 /// One raw request's completion, de-coalesced from a packet response
 /// (or a retired fence).
@@ -62,6 +66,9 @@ struct MacStats {
 class MacCoalescer {
  public:
   MacCoalescer(const SimConfig& config, HmcDevice& device);
+  ~MacCoalescer();
+  MacCoalescer(const MacCoalescer&) = delete;
+  MacCoalescer& operator=(const MacCoalescer&) = delete;
 
   /// Space for one more raw request this cycle? (Conservative: a merge
   /// may still succeed when the queue is full — use try_accept.)
@@ -104,6 +111,21 @@ class MacCoalescer {
     return arq_.storage_bytes() + builder_.storage_bytes();
   }
 
+  /// Enable model-invariant checking across the whole MAC pipeline (ARQ,
+  /// builder, request/response conservation + fence ordering; see
+  /// docs/INVARIANTS.md). Registers an end-of-run conservation audit with
+  /// the context; run context.finalize() while this object is alive. The
+  /// context must outlive the coalescer; pass nullptr to detach.
+  /// `scope` names this MAC in failure dumps (e.g. "node0.mac").
+  void attach_checks(CheckContext* context, const std::string& scope = "mac");
+
+  /// Deliberate model bug for the invariant test suite: halve the next
+  /// built packet's size so it no longer covers every requested FLIT
+  /// (builder.flit_coverage must fire).
+  void inject_truncate_next_packet() noexcept {
+    builder_.inject_truncate_next_packet();
+  }
+
  private:
   struct IssueItem {
     HmcRequest request;
@@ -133,6 +155,8 @@ class MacCoalescer {
   std::uint64_t outstanding_ = 0;
   TransactionId next_txn_ = 1;
   MacStats stats_;
+  CheckContext* checks_ = nullptr;
+  std::unique_ptr<ConservationChecker> conservation_;
 };
 
 }  // namespace mac3d

@@ -1,7 +1,10 @@
 #include "mac/request_builder.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
+
+#include "check/flit_checks.hpp"
 
 namespace mac3d {
 
@@ -11,13 +14,31 @@ RequestBuilder::RequestBuilder(const SimConfig& config, const AddressMap& map)
       groups_(config.builder_groups()),
       flits_per_row_(config.flits_per_row()) {}
 
+void RequestBuilder::attach_checks(CheckContext* context) {
+  checks_ = context;
+#if MAC3D_CHECKS_ENABLED
+  if (checks_ != nullptr) {
+    // The table is immutable; validate its 2^groups capacity and every
+    // entry's shape/coverage once at attach time.
+    const std::uint32_t row_bytes = flits_per_row_ * kFlitBytes;
+    check_flit_table(table_, row_bytes, row_bytes / groups_, *checks_);
+  }
+#endif
+}
+
 void RequestBuilder::accept(ArqEntry entry, Cycle now) {
   assert(can_accept(now));
   assert(!entry.is_fence && !entry.is_atomic);
   assert(!entry.flits.empty());
 
   const std::uint32_t pattern = entry.flits.group_pattern(groups_);
-  const PacketShape shape = table_.lookup(pattern);
+  PacketShape shape = table_.lookup(pattern);
+  if (truncate_next_) {
+    // Deliberate conservation bug (invariant test suite only).
+    shape.size_bytes = std::max(kFlitBytes, shape.size_bytes / 2);
+    truncate_next_ = false;
+  }
+  const std::size_t entry_targets = entry.targets.size();
 
   HmcRequest request;
   request.addr = map_.row_base(entry.row) + shape.offset_bytes;
@@ -25,6 +46,14 @@ void RequestBuilder::accept(ArqEntry entry, Cycle now) {
   request.write = entry.is_store;
   request.home_node = entry.home_node;
   request.targets = std::move(entry.targets);
+
+#if MAC3D_CHECKS_ENABLED
+  if (checks_ != nullptr) {
+    check_built_packet(entry.flits, entry.row, entry_targets, request,
+                       shape.offset_bytes, now, *checks_);
+  }
+#endif
+  (void)entry_targets;
 
   Built built;
   built.request = std::move(request);

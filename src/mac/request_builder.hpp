@@ -21,6 +21,8 @@
 
 namespace mac3d {
 
+class CheckContext;
+
 struct BuilderStats {
   std::uint64_t accepted = 0;
   std::uint64_t built = 0;
@@ -55,6 +57,16 @@ class RequestBuilder {
   [[nodiscard]] const FlitTable& table() const noexcept { return table_; }
   [[nodiscard]] const BuilderStats& stats() const noexcept { return stats_; }
 
+  /// Enable model-invariant checking (docs/INVARIANTS.md §builder); also
+  /// statically validates the FLIT table once. The context must outlive
+  /// the builder; pass nullptr to detach.
+  void attach_checks(CheckContext* context);
+
+  /// Fault-injection hook for the invariant test suite: the next built
+  /// packet is truncated to half its legal size, deliberately breaking
+  /// FLIT-byte conservation so checkers can be shown to fire.
+  void inject_truncate_next_packet() noexcept { truncate_next_ = true; }
+
   /// Combined FLIT map + FLIT table storage (paper: 2 B + 12 B = 14 B).
   [[nodiscard]] std::uint32_t storage_bytes() const noexcept {
     return (flits_per_row_ + 7) / 8 + table_.storage_bytes();
@@ -77,6 +89,8 @@ class RequestBuilder {
   Cycle next_accept_at_ = 0;
   std::deque<Built> out_;
   BuilderStats stats_;
+  CheckContext* checks_ = nullptr;
+  bool truncate_next_ = false;
 };
 
 }  // namespace mac3d

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "check/hmc_checks.hpp"
+
 namespace mac3d {
 
 void HmcStats::collect(StatSet& out, const std::string& prefix) const {
@@ -40,6 +42,15 @@ HmcDevice::HmcDevice(const SimConfig& config, NodeId node)
   }
 }
 
+HmcDevice::~HmcDevice() = default;
+
+void HmcDevice::attach_checks(CheckContext* context) {
+  checks_ = context;
+  checker_ = context == nullptr
+                 ? nullptr
+                 : std::make_unique<HmcChecker>(*context, banks_.size());
+}
+
 bool HmcDevice::can_accept(const HmcRequest& request,
                            Cycle now) const noexcept {
   const std::uint64_t row = map_.row_of(map_.local_addr(request.addr));
@@ -66,12 +77,21 @@ Cycle HmcDevice::submit(HmcRequest request, Cycle now) {
     throw std::invalid_argument("HmcDevice: packet crosses a row boundary");
   }
 
+  // Deliberate one-shot model bugs for the invariant test suite.
+  if (fault_ == Fault::kDropTarget && !request.targets.empty()) {
+    request.targets.pop_back();
+    fault_ = Fault::kNone;
+  }
+
   const std::uint32_t vault = map_.vault_of(row);
   Link& link = links_[link_of(vault)];
 
   // Request path: link serialization -> SerDes -> vault controller.
-  const std::uint32_t req_flits = request_flits(request.data_bytes,
-                                                request.write);
+  std::uint32_t req_flits = request_flits(request.data_bytes, request.write);
+  if (fault_ == Fault::kInflateOverhead) {
+    ++req_flits;
+    fault_ = Fault::kNone;
+  }
   const Cycle at_device = link.send_request(now, req_flits) + config_.t_serdes;
   const Cycle at_bank = at_device + config_.t_vault_ctrl;
 
@@ -97,6 +117,24 @@ Cycle HmcDevice::submit(HmcRequest request, Cycle now) {
   const Cycle resp_ready = sched.data_ready + config_.t_vault_ctrl;
   const Cycle completed =
       link.send_response(resp_ready, resp_flits) + config_.t_serdes;
+
+#if MAC3D_CHECKS_ENABLED
+  if (checker_ != nullptr) {
+    checker_->on_bank_access(map_.global_bank(row), at_bank, sched.start,
+                             sched.data_ready, bank.free_at(), sched.conflict,
+                             now);
+    checker_->on_packet(request.data_bytes, request.write, req_flits,
+                        resp_flits,
+                        static_cast<std::uint64_t>(req_flits + resp_flits) *
+                            kFlitBytes,
+                        now, sched.data_ready, completed);
+    const auto row_offset =
+        static_cast<std::uint32_t>(local - map_.row_base(row));
+    for (const Target& target : request.targets) {
+      checker_->on_target(target.flit, row_offset, request.data_bytes, now);
+    }
+  }
+#endif
 
   // Accounting.
   ++stats_.requests;
@@ -149,6 +187,8 @@ void HmcDevice::reset() {
   for (Link& link : links_) link.reset();
   pending_ = {};
   stats_ = {};
+  fault_ = Fault::kNone;
+  if (checks_ != nullptr) attach_checks(checks_);  // clear bank history
 }
 
 }  // namespace mac3d

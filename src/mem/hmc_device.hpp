@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -22,6 +23,9 @@
 #include "mem/packet.hpp"
 
 namespace mac3d {
+
+class CheckContext;
+class HmcChecker;
 
 /// Aggregate device counters.
 struct HmcStats {
@@ -53,6 +57,9 @@ struct HmcStats {
 class HmcDevice {
  public:
   explicit HmcDevice(const SimConfig& config, NodeId node = 0);
+  ~HmcDevice();
+  HmcDevice(const HmcDevice&) = delete;
+  HmcDevice& operator=(const HmcDevice&) = delete;
 
   /// Link-level back-pressure: false when the target link's request
   /// direction is backlogged beyond the injection-queue horizon.
@@ -86,6 +93,19 @@ class HmcDevice {
 
   void reset();
 
+  /// Enable model-invariant checking (docs/INVARIANTS.md §hmc). The
+  /// context must outlive the device; pass nullptr to detach.
+  void attach_checks(CheckContext* context);
+
+  /// Deliberate model bugs for the invariant test suite.
+  enum class Fault {
+    kNone,
+    kDropTarget,       ///< drop one merged target from the next response
+    kInflateOverhead,  ///< charge one extra control FLIT on the next access
+  };
+  /// Arm a one-shot fault applied to the next submitted request.
+  void inject_fault(Fault fault) noexcept { fault_ = fault; }
+
  private:
   struct PendingGreater {
     bool operator()(const HmcResponse& a, const HmcResponse& b) const {
@@ -107,6 +127,9 @@ class HmcDevice {
   std::priority_queue<HmcResponse, std::vector<HmcResponse>, PendingGreater>
       pending_;
   HmcStats stats_;
+  CheckContext* checks_ = nullptr;
+  std::unique_ptr<HmcChecker> checker_;
+  Fault fault_ = Fault::kNone;
 };
 
 }  // namespace mac3d

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cache/mshr.hpp"
+#include "check/check.hpp"
 #include "mac/coalescer.hpp"
 #include "mem/hmc_device.hpp"
 #include "sim/raw_path.hpp"
@@ -24,6 +25,11 @@ void DriverResult::collect(StatSet& out, const std::string& prefix) const {
   out.set(prefix + ".bandwidth_efficiency", bandwidth_efficiency());
   out.set(prefix + ".avg_latency_cycles", avg_latency_cycles);
   out.set(prefix + ".avg_packet_bytes", avg_packet_bytes);
+  if (checks_run > 0) {
+    out.set(prefix + ".checks_run", static_cast<double>(checks_run));
+    out.set(prefix + ".check_violations",
+            static_cast<double>(check_violations));
+  }
 }
 
 namespace {
@@ -41,6 +47,13 @@ struct LoopResult {
 /// arrivals are presented round-robin and the path absorbs as many as its
 /// intake ports allow per cycle (the MAC: one merge + one allocation).
 /// Back-pressure queues arrivals; it never slows the cores down.
+/// A thread's (tid, tag) pair is its request identity on the response path
+/// (the paper's 2 B tag field, Sec. 4.1.1). The open-loop feeder must not
+/// reissue a tag while its predecessor is still in flight, or response
+/// matching becomes ambiguous — and since completions are out of order
+/// (bank scheduling), one long-lived request can outlive 65 K newer ones,
+/// so the stall has to be per-tag, not a per-thread outstanding cap. The
+/// invariant fuzz suite caught exactly this on bank-conflict-heavy traces.
 template <typename Path>
 LoopResult run_streaming(Path& path, const MemoryTrace& trace,
                          const SimConfig& config, std::uint32_t threads,
@@ -53,6 +66,8 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
 
   threads = std::min(threads, trace.threads());
   std::vector<ThreadCursor> cursors(threads);
+  std::vector<std::vector<bool>> tag_busy(
+      threads, std::vector<bool>(std::size_t{1} << (8 * sizeof(Tag)), false));
   std::uint64_t records_left = 0;
   for (std::uint32_t t = 0; t < threads; ++t) {
     const auto& records = trace.thread(static_cast<ThreadId>(t));
@@ -77,7 +92,10 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
         const auto tid = static_cast<ThreadId>(t);
         ThreadCursor& cursor = cursors[t];
         const auto& records = trace.thread(tid);
-        if (cursor.next >= records.size() || cursor.arrive_at > now) continue;
+        if (cursor.next >= records.size() || cursor.arrive_at > now ||
+            tag_busy[t][cursor.tag]) {
+          continue;
+        }
         const MemRecord& record = records[cursor.next];
         RawRequest request;
         request.addr = record.addr;
@@ -90,6 +108,7 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
           intake_open = false;
           break;
         }
+        tag_busy[t][cursor.tag] = true;
         ++cursor.tag;
         ++cursor.next;
         --records_left;
@@ -109,6 +128,9 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
     for (const CompletedAccess& done : path.drain(now)) {
       result.makespan = std::max(result.makespan, done.completed);
       ++result.completions;
+      if (done.target.tid < threads) {
+        tag_busy[done.target.tid][done.target.tag] = false;
+      }
     }
 
     // Advance time.
@@ -121,6 +143,9 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
         if (cursor.next >= trace.thread(static_cast<ThreadId>(t)).size()) {
           continue;
         }
+        // A thread stalled on a busy tag wakes on a completion (path
+        // event), not on an arrival time.
+        if (tag_busy[t][cursor.tag]) continue;
         if (cursor.arrive_at <= now) {
           pending_now = true;
           break;
@@ -333,14 +358,63 @@ LoopResult dispatch(Path& path, const MemoryTrace& trace,
              : run_closed_loop(path, trace, config, threads, options);
 }
 
+/// Scopes one run's slice of a (possibly shared) CheckContext: snapshots
+/// the counters, and guarantees finalize() runs while the pipeline is still
+/// alive — including when a kThrow-mode breach unwinds out of the run loop
+/// (declare the window *after* the device and the path).
+class CheckWindow {
+ public:
+  explicit CheckWindow(CheckContext* context) : context_(context) {
+    if (context_ != nullptr) {
+      checks_before_ = context_->checks_run();
+      violations_before_ = context_->violations();
+    }
+  }
+
+  CheckWindow(const CheckWindow&) = delete;
+  CheckWindow& operator=(const CheckWindow&) = delete;
+
+  ~CheckWindow() {
+    if (context_ == nullptr || closed_) return;
+    // Unwinding (kThrow): run the end-of-run audits anyway so the hooks
+    // release their captured components; secondary breaches stay counted
+    // but must not escape a destructor.
+    try {
+      context_->finalize();
+    } catch (const InvariantViolation&) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+
+  /// Normal completion: finalize and report this run's deltas.
+  void close(DriverResult& result) {
+    closed_ = true;
+    if (context_ == nullptr) return;
+    context_->finalize();
+    result.checks_run = context_->checks_run() - checks_before_;
+    result.check_violations = context_->violations() - violations_before_;
+  }
+
+ private:
+  CheckContext* context_;
+  std::uint64_t checks_before_ = 0;
+  std::uint64_t violations_before_ = 0;
+  bool closed_ = false;
+};
+
 }  // namespace
 
 DriverResult run_mac(const MemoryTrace& trace, const SimConfig& config,
                      std::uint32_t threads, const DriveOptions& options) {
   HmcDevice device(config);
   MacCoalescer mac(config, device);
+  CheckWindow window(options.checks);
+  if (options.checks != nullptr) {
+    device.attach_checks(options.checks);
+    mac.attach_checks(options.checks);
+  }
   const LoopResult loop = dispatch(mac, trace, config, threads, options);
   DriverResult result = finish(mac, device, loop, "mac");
+  window.close(result);
   result.raw_requests = mac.stats().raw_in;
   result.avg_latency_cycles = mac.stats().raw_latency_cycles.mean();
   result.avg_targets_per_entry = mac.arq().stats().targets_per_entry.mean();
@@ -353,8 +427,14 @@ DriverResult run_raw(const MemoryTrace& trace, const SimConfig& config,
                      std::uint32_t threads, const DriveOptions& options) {
   HmcDevice device(config);
   RawPath raw(config, device);
+  CheckWindow window(options.checks);
+  if (options.checks != nullptr) {
+    device.attach_checks(options.checks);
+    raw.attach_checks(options.checks);
+  }
   const LoopResult loop = dispatch(raw, trace, config, threads, options);
   DriverResult result = finish(raw, device, loop, "raw");
+  window.close(result);
   result.raw_requests = raw.raw_in();
   result.avg_latency_cycles = raw.latency().mean();
   result.packets_by_size[kFlitBytes] = raw.packets_out();
@@ -366,8 +446,14 @@ DriverResult run_mshr(const MemoryTrace& trace, const SimConfig& config,
                       std::uint32_t block_bytes, const DriveOptions& options) {
   HmcDevice device(config);
   MshrCoalescer mshr(config, device, mshr_entries, block_bytes);
+  CheckWindow window(options.checks);
+  if (options.checks != nullptr) {
+    device.attach_checks(options.checks);
+    mshr.attach_checks(options.checks);
+  }
   const LoopResult loop = dispatch(mshr, trace, config, threads, options);
   DriverResult result = finish(mshr, device, loop, "mshr");
+  window.close(result);
   result.raw_requests = mshr.stats().raw_in;
   result.avg_latency_cycles = mshr.stats().raw_latency_cycles.mean();
   result.packets_by_size[block_bytes] = mshr.stats().packets_out;

@@ -19,6 +19,8 @@
 
 namespace mac3d {
 
+class CheckContext;
+
 /// How the trace is fed into the memory path.
 enum class FeedMode {
   /// Trace streaming — the paper's methodology (Sec. 5.1): the interleaved
@@ -48,6 +50,13 @@ struct DriveOptions {
   /// raw requests per cycle are ready to enter the ARQ).
   std::uint32_t intake_ports = 0;
   bool charge_gaps = true;  ///< pay per-record compute gaps (closed loop)
+  /// Model-invariant checking (docs/INVARIANTS.md): when non-null, the
+  /// driver attaches the context to the device and the path, finalizes it
+  /// after the run (while the pipeline is still alive) and reports the
+  /// run's check/violation counts in the DriverResult. The context may be
+  /// shared across runs; counters accumulate. In FailMode::kThrow the
+  /// first breach raises InvariantViolation out of the run_* call.
+  CheckContext* checks = nullptr;
 };
 
 struct DriverResult {
@@ -71,6 +80,8 @@ struct DriverResult {
   double avg_targets_per_entry = 0.0;  ///< MAC only (Fig. 15)
   double max_targets_per_entry = 0.0;  ///< MAC only
   std::map<std::uint32_t, std::uint64_t> packets_by_size;
+  std::uint64_t checks_run = 0;        ///< invariant checks this run
+  std::uint64_t check_violations = 0;  ///< breaches this run (0 = clean)
 
   /// Paper Sec. 5.3.1 (Eq. 3 as used in the text): request reduction.
   [[nodiscard]] double coalescing_efficiency() const noexcept {

@@ -7,9 +7,13 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "check/check.hpp"
+#include "check/conservation.hpp"
 #include "common/bitutil.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
@@ -41,6 +45,11 @@ class RawPath {
     queue_.push_back(request);
     accept_cycle_[key(request)] = now;
     raw_in_ += request.op != MemOp::kFence ? 1 : 0;
+#if MAC3D_CHECKS_ENABLED
+    if (conservation_ != nullptr) {
+      conservation_->on_accept(request.tid, request.tag, request.op, now);
+    }
+#endif
     return true;
   }
 
@@ -51,6 +60,7 @@ class RawPath {
   }
 
   void tick(Cycle now) {
+    last_cycle_ = now;
     if (queue_.empty()) return;
     const RawRequest& head = queue_.front();
     if (head.op == MemOp::kFence) {
@@ -98,6 +108,14 @@ class RawPath {
         out.push_back(done);
       }
     }
+#if MAC3D_CHECKS_ENABLED
+    if (conservation_ != nullptr) {
+      for (const CompletedAccess& done : out) {
+        conservation_->on_complete(done.target.tid, done.target.tag,
+                                   done.fence, now);
+      }
+    }
+#endif
     return out;
   }
 
@@ -119,6 +137,19 @@ class RawPath {
   }
   [[nodiscard]] const RunningStat& latency() const noexcept {
     return latency_;
+  }
+
+  /// Enable request/response conservation checking (docs/INVARIANTS.md
+  /// §conservation). Same contract as MacCoalescer::attach_checks.
+  void attach_checks(CheckContext* context, const std::string& scope = "raw") {
+    if (context == nullptr) {
+      conservation_.reset();
+      return;
+    }
+    conservation_ = std::make_unique<ConservationChecker>(*context, scope);
+    context->on_finalize([this](CheckContext&) {
+      if (conservation_ != nullptr) conservation_->finalize(last_cycle_);
+    });
   }
 
  private:
@@ -148,7 +179,9 @@ class RawPath {
   std::uint64_t raw_in_ = 0;
   std::uint64_t packets_out_ = 0;
   TransactionId next_txn_ = 1;
+  Cycle last_cycle_ = 0;
   RunningStat latency_;
+  std::unique_ptr<ConservationChecker> conservation_;
 };
 
 }  // namespace mac3d

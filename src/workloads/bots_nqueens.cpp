@@ -59,7 +59,9 @@ class NQueensWorkload final : public Workload {
             detail::emit_store(sink, tid, solutions, solution_slot++);
           }
           sink.spm_store(tid, 1);
-          depth = depth > 2 ? depth - rng.below(2) - 1 : 1;
+          depth = depth > 2
+                      ? depth - static_cast<std::uint32_t>(rng.below(2)) - 1
+                      : 1;
         } else {
           // Backtrack; occasionally steal a spilled task.
           sink.spm_store(tid, 1);

@@ -115,8 +115,8 @@ TEST(FlitTable, NonAdjacentGroupsWidenThePacket) {
 
 TEST(FlitTable, RejectsZeroAndOutOfRange) {
   FlitTable table(256, 64);
-  EXPECT_THROW(table.lookup(0), std::out_of_range);
-  EXPECT_THROW(table.lookup(16), std::out_of_range);
+  EXPECT_THROW((void)table.lookup(0), std::out_of_range);
+  EXPECT_THROW((void)table.lookup(16), std::out_of_range);
 }
 
 TEST(FlitTable, RejectsBadGeometry) {

@@ -31,7 +31,7 @@ TEST(Integration, EveryRawRequestOfEveryWorkloadCompletesOnce) {
     std::uint64_t data_records = 0;
     std::uint64_t fences = 0;
     for (std::uint32_t t = 0; t < trace.threads(); ++t) {
-      for (const MemRecord& record : trace.thread(t)) {
+      for (const MemRecord& record : trace.thread(static_cast<ThreadId>(t))) {
         (record.op == MemOp::kFence ? fences : data_records) += 1;
       }
     }

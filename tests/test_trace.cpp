@@ -98,9 +98,10 @@ TEST(TraceIo, RoundTripsExactly) {
   const MemoryTrace loaded = load_trace(path);
   ASSERT_EQ(loaded.threads(), 3u);
   for (std::uint32_t t = 0; t < 3; ++t) {
-    ASSERT_EQ(loaded.thread(t).size(), trace.thread(t).size());
-    for (std::size_t i = 0; i < trace.thread(t).size(); ++i) {
-      EXPECT_EQ(loaded.thread(t)[i], trace.thread(t)[i]);
+    const auto tid = static_cast<ThreadId>(t);
+    ASSERT_EQ(loaded.thread(tid).size(), trace.thread(tid).size());
+    for (std::size_t i = 0; i < trace.thread(tid).size(); ++i) {
+      EXPECT_EQ(loaded.thread(tid)[i], trace.thread(tid)[i]);
     }
   }
   std::remove(path.c_str());

@@ -54,7 +54,8 @@ TEST_P(WorkloadInvariants, IsDeterministic) {
   const MemoryTrace b = GetParam()->trace(small_params());
   ASSERT_EQ(a.size(), b.size());
   for (std::uint32_t t = 0; t < a.threads(); ++t) {
-    ASSERT_EQ(a.thread(t), b.thread(t)) << GetParam()->name();
+    const auto tid = static_cast<ThreadId>(t);
+    ASSERT_EQ(a.thread(tid), b.thread(tid)) << GetParam()->name();
   }
 }
 
@@ -71,7 +72,7 @@ TEST_P(WorkloadInvariants, AddressesStayInsideTheCube) {
   const WorkloadParams params = small_params();
   const MemoryTrace trace = GetParam()->trace(params);
   for (std::uint32_t t = 0; t < trace.threads(); ++t) {
-    for (const MemRecord& record : trace.thread(t)) {
+    for (const MemRecord& record : trace.thread(static_cast<ThreadId>(t))) {
       if (record.op == MemOp::kFence) continue;
       ASSERT_LT(record.addr + record.size, params.config.hmc_capacity)
           << GetParam()->name();
@@ -82,7 +83,7 @@ TEST_P(WorkloadInvariants, AddressesStayInsideTheCube) {
 TEST_P(WorkloadInvariants, RecordsAreFlitGranular) {
   const MemoryTrace trace = GetParam()->trace(small_params());
   for (std::uint32_t t = 0; t < trace.threads(); ++t) {
-    for (const MemRecord& record : trace.thread(t)) {
+    for (const MemRecord& record : trace.thread(static_cast<ThreadId>(t))) {
       if (record.op == MemOp::kFence) continue;
       ASSERT_GT(record.size, 0u);
       ASSERT_EQ(record.addr / kFlitBytes,
@@ -117,8 +118,8 @@ TEST_P(WorkloadInvariants, CountsInstructionsBeyondMemoryOps) {
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, WorkloadInvariants,
     ::testing::ValuesIn(workload_registry()),
-    [](const ::testing::TestParamInfo<const Workload*>& info) {
-      return info.param->name();
+    [](const ::testing::TestParamInfo<const Workload*>& param_info) {
+      return param_info.param->name();
     });
 
 // ------------------------------------------------- characteristic patterns
@@ -148,7 +149,7 @@ TEST(WorkloadCharacter, GrappoloAndCcEmitAtomics) {
     const MemoryTrace trace = workload->trace(small_params(4));
     std::uint64_t atomics = 0;
     for (std::uint32_t t = 0; t < trace.threads(); ++t) {
-      for (const MemRecord& record : trace.thread(t)) {
+      for (const MemRecord& record : trace.thread(static_cast<ThreadId>(t))) {
         atomics += record.op == MemOp::kAtomic ? 1 : 0;
       }
     }
@@ -161,7 +162,7 @@ TEST(WorkloadCharacter, EveryWorkloadEmitsFences) {
     const MemoryTrace trace = workload->trace(small_params(4));
     std::uint64_t fences = 0;
     for (std::uint32_t t = 0; t < trace.threads(); ++t) {
-      for (const MemRecord& record : trace.thread(t)) {
+      for (const MemRecord& record : trace.thread(static_cast<ThreadId>(t))) {
         fences += record.op == MemOp::kFence ? 1 : 0;
       }
     }
