@@ -11,6 +11,7 @@
 //   mac3d config                             # effective Table-1 config
 //
 // Config overrides compose from MAC3D_CONFIG and repeated --set key=value.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -19,6 +20,9 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "obs/lifecycle.hpp"
+#include "obs/run_report.hpp"
+#include "obs/sampler.hpp"
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
@@ -42,6 +46,10 @@ struct CliOptions {
   bool csv = false;
   bool closed_loop = false;
   bool checks = false;
+  std::string trace_events;    ///< Chrome trace-event JSON output
+  std::uint64_t sample_every = 0;  ///< sampler period (0 = off)
+  std::string sample_out;      ///< sampler CSV output
+  std::string report_path;     ///< machine-readable run report JSON
   std::vector<std::string> overrides;
 };
 
@@ -60,7 +68,13 @@ void usage() {
                "streaming)\n"
                "  --checks          run model-invariant checks "
                "(docs/INVARIANTS.md)\n"
-               "  --csv             machine-readable output\n");
+               "  --csv             machine-readable output\n"
+               "  --trace-events F  write Chrome/Perfetto trace-event JSON "
+               "(docs/OBSERVABILITY.md)\n"
+               "  --sample-every N  sample occupancy probes every N cycles\n"
+               "  --sample-out F    write the sampled time series as CSV\n"
+               "  --report F        write a machine-readable run report "
+               "(JSON)\n");
 }
 
 std::optional<CliOptions> parse(int argc, char** argv) {
@@ -106,6 +120,14 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       options.closed_loop = true;
     } else if (arg == "--checks") {
       options.checks = true;
+    } else if (arg == "--trace-events") {
+      options.trace_events = value();
+    } else if (arg == "--sample-every") {
+      options.sample_every = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--sample-out") {
+      options.sample_out = value();
+    } else if (arg == "--report") {
+      options.report_path = value();
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return std::nullopt;
@@ -143,6 +165,7 @@ MemoryTrace make_trace(const CliOptions& options, const SimConfig& config) {
 }
 
 int cmd_run(const CliOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
   const SimConfig config = make_config(options);
   const std::uint32_t threads =
       options.threads == 0 ? config.cores : options.threads;
@@ -161,8 +184,33 @@ int cmd_run(const CliOptions& options) {
     drive.checks = &checks;
   }
 
+  // Telemetry (docs/OBSERVABILITY.md). The run report needs the per-stage
+  // histograms, so --report enables the lifecycle tracer too.
+  const bool want_tracer =
+      !options.trace_events.empty() || !options.report_path.empty();
+  const bool want_sampler =
+      options.sample_every > 0 || !options.sample_out.empty();
+#if !MAC3D_OBS_ENABLED
+  if (want_tracer || want_sampler) {
+    std::fprintf(stderr,
+                 "mac3d: warning: built with -DMAC3D_OBS=OFF; telemetry "
+                 "options will record nothing\n");
+  }
+#endif
+  LifecycleTracer tracer;
+  if (!options.trace_events.empty() &&
+      !tracer.open_trace(options.trace_events)) {
+    std::fprintf(stderr, "mac3d: cannot open %s for writing\n",
+                 options.trace_events.c_str());
+    return 2;
+  }
+  CycleSampler sampler(options.sample_every == 0 ? 64 : options.sample_every);
+  if (want_tracer) drive.sink = &tracer;
+  if (want_sampler) drive.sampler = &sampler;
+
   std::vector<DriverResult> results;
   for (const std::string& path : options.paths) {
+    if (want_tracer) tracer.begin_path(path);
     if (path == "raw") {
       results.push_back(run_raw(trace, config, threads, drive));
     } else if (path == "mac") {
@@ -171,6 +219,62 @@ int cmd_run(const CliOptions& options) {
       results.push_back(run_mshr(trace, config, threads, 32, 64, drive));
     } else {
       std::fprintf(stderr, "unknown path '%s'\n", path.c_str());
+      return 2;
+    }
+  }
+  tracer.finish();
+
+  if (!options.sample_out.empty() && !sampler.write_csv(options.sample_out)) {
+    std::fprintf(stderr, "mac3d: cannot write %s\n",
+                 options.sample_out.c_str());
+    return 2;
+  }
+
+  if (!options.report_path.empty()) {
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    RunReport report;
+    report.set_string("workload", options.trace_path.empty()
+                                      ? options.workload
+                                      : options.trace_path);
+    report.set_string("feed_mode",
+                      options.closed_loop ? "closed_loop" : "streaming");
+    report.set_number("threads", static_cast<double>(threads));
+    report.set_number("scale", options.scale);
+    report.set_number("seed", static_cast<double>(options.seed));
+    report.set_number("trace_records", static_cast<double>(trace.size()));
+    report.set_number("wall_seconds", wall_seconds);
+    report.set_number("telemetry_monotonicity_errors",
+                      static_cast<double>(tracer.monotonicity_errors()));
+    report.set_number("telemetry_completeness_errors",
+                      static_cast<double>(tracer.completeness_errors()));
+    if (options.checks) {
+      StatSet check_stats;
+      checks.collect(check_stats, "checks");
+      report.set_raw("checks", check_stats.to_json());
+    }
+    report.set_config(config);
+    for (const DriverResult& result : results) {
+      StatSet stats;
+      result.collect(stats, result.path);
+      report.set_path_stats(result.path, stats);
+      const LifecycleTracer::PathTelemetry* telemetry =
+          tracer.path(result.path);
+      if (telemetry == nullptr) continue;
+      report.set_path_request_latency(result.path,
+                                      telemetry->request_latency);
+      for (std::size_t s = 0; s < kStageCount; ++s) {
+        if (telemetry->stage_latency[s].count() == 0) continue;
+        report.add_path_stage(result.path,
+                              to_string(static_cast<Stage>(s)),
+                              telemetry->stage_latency[s]);
+      }
+    }
+    if (!report.write(options.report_path)) {
+      std::fprintf(stderr, "mac3d: cannot write %s\n",
+                   options.report_path.c_str());
       return 2;
     }
   }

@@ -7,8 +7,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "ablation_builder_granularity");
   print_banner("Ablation: Request Builder minimum packet granularity");
 
   Table table({"min packet", "groups", "mean eff", "mean bw eff",

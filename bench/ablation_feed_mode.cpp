@@ -9,8 +9,9 @@
 #include "bench_common.hpp"
 #include "sim/driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "ablation_feed_mode");
   print_banner("Ablation: trace streaming vs execution-driven closed loop");
   SuiteOptions base = default_suite_options();
 

@@ -7,8 +7,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "ablation_fill_fast");
   print_banner("Ablation: fill-fast latency hiding (Sec. 4.1)");
 
   Table table({"workload", "eff (fill-fast off)", "eff (fill-fast on)",

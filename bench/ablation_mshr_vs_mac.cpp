@@ -8,8 +8,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "ablation_mshr_vs_mac");
   print_banner("Ablation: MAC vs MSHR-64B vs raw");
   SuiteOptions options = default_suite_options();
   options.run_mshr = true;

@@ -12,8 +12,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "ablation_page_policy");
   print_banner("Ablation: page policy (Sec. 2.2.1)");
 
   SuiteOptions closed = default_suite_options();  // closed page (real HMC)

@@ -6,8 +6,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "ablation_row_size");
   print_banner("Ablation: row/page size (HMC 1.0 / HMC 2.1 / HBM)");
 
   Table table({"device", "row", "FLIT map bits", "mean eff", "mean bw eff",

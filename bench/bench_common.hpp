@@ -6,10 +6,15 @@
 // larger but every reported ratio is scale-free — see DESIGN.md §4).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/stats.hpp"
+#include "obs/run_report.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
 #include "sim/report.hpp"
@@ -17,6 +22,65 @@
 #include "workloads/all.hpp"
 
 namespace mac3d::bench {
+
+/// Per-binary run-report session (docs/OBSERVABILITY.md §run report).
+/// Parses `--report FILE` from the binary's argv; when present, the
+/// destructor writes a RunReport carrying the benchmark's name, whatever
+/// headline numbers the binary recorded via set_number()/set_path_stats(),
+/// the effective config (MAC3D_CONFIG applied) and the wall clock. Without
+/// --report every call is a cheap no-op, so instrumenting a figure binary
+/// costs one declaration.
+class Session {
+ public:
+  Session(int argc, char** argv, std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--report" && i + 1 < argc) {
+        report_path_ = argv[++i];
+      }
+    }
+    report_.set_string("bench", name_);
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  ~Session() {
+    if (report_path_.empty()) return;
+    report_.set_number(
+        "wall_seconds",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count());
+    SimConfig config;
+    config.apply_env();
+    report_.set_config(config);
+    if (!report_.write(report_path_)) {
+      std::fprintf(stderr, "%s: cannot write %s\n", name_.c_str(),
+                   report_path_.c_str());
+    }
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return !report_path_.empty(); }
+
+  /// Record a headline number (figure averages, speedups, ...).
+  void set_number(const std::string& key, double value) {
+    report_.set_number(key, value);
+  }
+  void set_string(const std::string& key, std::string_view value) {
+    report_.set_string(key, value);
+  }
+  /// Attach a full per-path StatSet under "paths".
+  void set_path_stats(const std::string& path, const StatSet& stats) {
+    report_.set_path_stats(path, stats);
+  }
+
+ private:
+  std::string name_;
+  std::string report_path_;
+  std::chrono::steady_clock::time_point start_;
+  RunReport report_;
+};
 
 /// Upper-case the workload name the way the paper's figures label them.
 inline std::string label(const std::string& name) {

@@ -6,8 +6,9 @@
 #include "bench_common.hpp"
 #include "mem/packet.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "fig03_bw_model");
   print_banner("Figure 3: bandwidth efficiency and overhead vs request size");
   Table table({"request size", "bandwidth efficiency", "overhead"});
   for (std::uint32_t size = 16; size <= 256; size *= 2) {

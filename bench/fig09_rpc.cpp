@@ -7,8 +7,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "fig09_rpc");
   print_banner("Figure 9: raw requests per cycle (Eq. 2)");
   SuiteOptions options = default_suite_options();
   const double ipc = 1.0;  // simple in-order cores

@@ -5,8 +5,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "fig10_coalescing_efficiency");
   print_banner("Figure 10: coalescing efficiency vs thread count");
   const std::uint32_t thread_counts[] = {2, 4, 8};
 
@@ -29,6 +30,9 @@ int main() {
                  Table::pct(series[1].mean_coalescing),
                  Table::pct(series[2].mean_coalescing)});
   table.print();
+  session.set_number("mean_coalescing_2t", series[0].mean_coalescing);
+  session.set_number("mean_coalescing_4t", series[1].mean_coalescing);
+  session.set_number("mean_coalescing_8t", series[2].mean_coalescing);
   print_reference("average at 2/4/8 threads", "48.37% / 50.51% / 52.86%",
                   Table::pct(series[0].mean_coalescing) + " / " +
                       Table::pct(series[1].mean_coalescing) + " / " +

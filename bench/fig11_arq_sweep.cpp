@@ -6,8 +6,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "fig11_arq_sweep");
   print_banner("Figure 11: coalescing efficiency vs ARQ entries");
   const std::uint32_t entry_counts[] = {8, 16, 32, 64, 128, 256};
 

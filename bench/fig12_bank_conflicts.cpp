@@ -7,8 +7,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "fig12_bank_conflicts");
   print_banner("Figure 12: bank conflict reduction");
   SuiteOptions options = default_suite_options();
   const auto runs = run_suite(options);

@@ -6,8 +6,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "fig13_bw_efficiency");
   print_banner("Figure 13: bandwidth efficiency, MAC vs raw");
   SuiteOptions options = default_suite_options();
   const auto runs = run_suite(options);

@@ -7,8 +7,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "fig14_bw_saving");
   print_banner("Figure 14: bandwidth saving");
   SuiteOptions options = default_suite_options();
   const auto runs = run_suite(options);

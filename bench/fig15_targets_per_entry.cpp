@@ -5,8 +5,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "fig15_targets_per_entry");
   print_banner("Figure 15: average targets per ARQ entry");
   SuiteOptions options = default_suite_options();
   options.run_raw = false;

@@ -8,8 +8,9 @@
 #include "mac/coalescer.hpp"
 #include "mem/hmc_device.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "fig16_space_overhead");
   print_banner("Figure 16: MAC space overhead");
 
   Table table({"ARQ entries", "ARQ storage", "comparators", "builder",

@@ -7,8 +7,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "fig17_speedup");
   print_banner("Figure 17: memory system speedup");
   SuiteOptions options = default_suite_options();
   const auto runs = run_suite(options);
@@ -25,6 +26,8 @@ int main() {
                    Table::fmt(run.mac.device_latency_avg, 0) + " cy"});
   }
   table.print();
+  session.set_number("average_speedup",
+                     sum / static_cast<double>(runs.size()));
   print_reference("average speedup", "60.73%",
                   Table::pct(sum / static_cast<double>(runs.size())));
   print_reference("top performers", "> 70% (MG, GRAPPOLO, SG, SPARSELU)",

@@ -3,8 +3,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mac3d;
+  bench::Session session(argc, argv, "table1_config");
   print_banner("Table 1: Simulation Environment Configurations");
   SimConfig config;
   config.apply_env();

@@ -96,7 +96,7 @@ inline void CoreModel::try_issue(Cycle now, RequestRouter& router) {
     request.tag = thread.next_tag;
     request.core = core_;
     request.node = node_;
-    if (!router.route_local(request)) {
+    if (!router.route_local(request, now)) {
       ++stall_cycles_;  // queue back-pressure; retry next cycle
       return;
     }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace mac3d {
 
 Node::Node(const SimConfig& config, NodeId id,
@@ -29,6 +31,13 @@ void Node::attach_checks(CheckContext* context) {
   device_->attach_checks(context);
   mac_->attach_checks(context, "node" + std::to_string(id_) + ".mac");
   router_->attach_checks(context);
+}
+
+void Node::attach_sink(EventSink* sink) {
+  sink_ = sink;
+  router_->attach_sink(sink);
+  mac_->attach_sink(sink);
+  device_->attach_sink(sink);
 }
 
 void Node::tick(Cycle now, Interconnect* fabric) {
@@ -85,6 +94,8 @@ void Node::dispatch_completion(const CompletedAccess& completion, Cycle now,
   assert(owner == id_ && "completion arrived at a foreign node");
   cores_.at(thread_core_->at(completion.target.tid))
       .on_complete(completion.target.tid, now);
+  MAC3D_OBS_STAMP(sink_, Stage::kCoreComplete, completion.target.tid,
+                  completion.target.tag, now);
   ++completions_delivered_;
   request_latency_.add(static_cast<double>(completion.completed -
                                            completion.accepted));

@@ -61,6 +61,12 @@ class Node {
   /// to detach.
   void attach_checks(CheckContext* context);
 
+  /// Enable request-lifecycle telemetry on this node's router, MAC and
+  /// device, plus core_complete stamping when completions are delivered to
+  /// local cores (docs/OBSERVABILITY.md). The sink must outlive the node;
+  /// pass nullptr to detach.
+  void attach_sink(EventSink* sink);
+
  private:
   void dispatch_completion(const CompletedAccess& completion, Cycle now,
                            Interconnect* fabric);
@@ -76,6 +82,7 @@ class Node {
   std::vector<RawRequest> pending_remote_;  ///< retry buffer (queue full)
   std::uint64_t completions_delivered_ = 0;
   RunningStat request_latency_;
+  EventSink* sink_ = nullptr;
 };
 
 }  // namespace mac3d

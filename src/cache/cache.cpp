@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "check/check.hpp"
+#include "check/invariants.hpp"
+
 namespace mac3d {
 
 void CacheStats::collect(StatSet& out, const std::string& prefix) const {
@@ -40,9 +43,12 @@ bool Cache::access(Address addr, bool write) {
   for (std::uint32_t way = 0; way < config_.ways; ++way) {
     Line& line = base[way];
     if (line.valid && line.tag == tag) {
-      line.lru = tick_;
+      line.lru = touch_stamp();
       line.dirty = line.dirty || write;
       ++stats_.hits;
+#if MAC3D_CHECKS_ENABLED
+      if (checks_ != nullptr) check_lru_stack(set, &line);
+#endif
       return true;
     }
     if (!line.valid) {
@@ -62,9 +68,39 @@ bool Cache::access(Address addr, bool write) {
   }
   victim->valid = true;
   victim->tag = tag;
-  victim->lru = tick_;
+  victim->lru = touch_stamp();
   victim->dirty = write;
+#if MAC3D_CHECKS_ENABLED
+  if (checks_ != nullptr) check_lru_stack(set, victim);
+#endif
   return false;
+}
+
+void Cache::check_lru_stack(std::uint64_t set, const Line* touched) {
+#if !MAC3D_CHECKS_ENABLED
+  (void)set;
+  (void)touched;
+#else
+  const Line* base = &lines_[set * config_.ways];
+  bool mru_unique = true;
+  bool stamps_distinct = true;
+  for (std::uint32_t way = 0; way < config_.ways; ++way) {
+    const Line& line = base[way];
+    if (!line.valid || &line == touched) continue;
+    mru_unique = mru_unique && line.lru < touched->lru;
+    for (std::uint32_t other = way + 1; other < config_.ways; ++other) {
+      if (base[other].valid && &base[other] != touched) {
+        stamps_distinct = stamps_distinct && base[other].lru != line.lru;
+      }
+    }
+  }
+  MAC3D_CHECK(checks_, inv::kCacheLruStack, mru_unique && stamps_distinct,
+              tick_,
+              config_.name + " set " + std::to_string(set) +
+                  ": touched line (stamp " + std::to_string(touched->lru) +
+                  ") is not the unique MRU after access " +
+                  std::to_string(tick_));
+#endif
 }
 
 bool Cache::contains(Address addr) const noexcept {
@@ -81,6 +117,7 @@ void Cache::reset() {
   for (Line& line : lines_) line = Line{};
   tick_ = 0;
   stats_ = CacheStats{};
+  inject_lru_ = 0;
 }
 
 CacheHierarchy::CacheHierarchy(std::vector<CacheConfig> levels) {

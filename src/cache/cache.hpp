@@ -14,6 +14,8 @@
 
 namespace mac3d {
 
+class CheckContext;
+
 struct CacheConfig {
   std::string name = "L1";
   std::uint64_t size_bytes = 32 * 1024;
@@ -57,6 +59,17 @@ class Cache {
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   void reset();
 
+  /// Enable the LRU stack-property invariant (docs/INVARIANTS.md §cache):
+  /// after every access the touched line must be its set's unique MRU.
+  /// The context must outlive the cache; pass nullptr to detach.
+  void attach_checks(CheckContext* context) noexcept { checks_ = context; }
+
+  /// Deliberate model bug for the invariant test suite: the next `n`
+  /// accesses record a zeroed recency timestamp instead of the access
+  /// tick, corrupting the LRU stack (cache.lru_stack must fire once the
+  /// set holds another, younger line).
+  void inject_lru_corruption(std::uint32_t n) noexcept { inject_lru_ = n; }
+
  private:
   struct Line {
     std::uint64_t tag = 0;
@@ -72,6 +85,15 @@ class Cache {
     return addr >> (line_shift_ + set_bits_);
   }
 
+  [[nodiscard]] std::uint64_t touch_stamp() noexcept {
+    if (inject_lru_ > 0) {
+      --inject_lru_;
+      return 0;
+    }
+    return tick_;
+  }
+  void check_lru_stack(std::uint64_t set, const Line* touched);
+
   CacheConfig config_;
   unsigned line_shift_;
   unsigned set_bits_;
@@ -79,6 +101,8 @@ class Cache {
   std::uint64_t tick_ = 0;
   std::vector<Line> lines_;  ///< sets_ * ways, set-major
   CacheStats stats_;
+  CheckContext* checks_ = nullptr;
+  std::uint32_t inject_lru_ = 0;
 };
 
 /// Inclusive multi-level hierarchy: access L1, on miss go to L2, etc.
@@ -97,6 +121,11 @@ class CacheHierarchy {
   /// Misses that reached main memory / total L1 accesses.
   [[nodiscard]] double overall_miss_rate() const noexcept;
   void reset();
+
+  /// Enable the LRU stack-property invariant on every level.
+  void attach_checks(CheckContext* context) noexcept {
+    for (Cache& cache : caches_) cache.attach_checks(context);
+  }
 
  private:
   std::vector<Cache> caches_;

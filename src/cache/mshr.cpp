@@ -5,7 +5,9 @@
 
 #include "check/check.hpp"
 #include "check/conservation.hpp"
+#include "check/invariants.hpp"
 #include "common/bitutil.hpp"
+#include "obs/obs.hpp"
 
 namespace mac3d {
 
@@ -23,6 +25,7 @@ MshrCoalescer::~MshrCoalescer() = default;
 
 void MshrCoalescer::attach_checks(CheckContext* context,
                                   const std::string& scope) {
+  checks_ = context;
   if (context == nullptr) {
     conservation_.reset();
     return;
@@ -59,6 +62,7 @@ bool MshrCoalescer::intake(const RawRequest& request, Cycle now) {
     fences_.push_back({Target{request.tid, request.tag, 0}, now});
     ++barrier_pending_;
     alloc_port_used_at_ = now;
+    MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag, now);
     return true;
   }
   if (barrier_pending_ > 0) return false;  // strict barrier
@@ -83,6 +87,7 @@ bool MshrCoalescer::intake(const RawRequest& request, Cycle now) {
     atomic_keys_.insert(key);
     alloc_port_used_at_ = now;
     ++stats_.raw_in;
+    MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag, now);
     return true;
   }
 
@@ -96,13 +101,23 @@ bool MshrCoalescer::intake(const RawRequest& request, Cycle now) {
     merge_port_used_at_ = now;
     ++stats_.merged;
     ++stats_.raw_in;
+    MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag, now);
+    MAC3D_OBS_STAMP(sink_, Stage::kMerge, request.tid, request.tag, now);
+#if MAC3D_OBS_ENABLED
+    if (sink_ != nullptr && !it->second.targets.empty()) {
+      const Target& leader = it->second.targets.front();
+      sink_->on_merge(request.tid, request.tag, leader.tid, leader.tag, now);
+    }
+#endif
     return true;
   }
 
-  if (!alloc_free || file_.size() >= entries_) {
+  const bool over_capacity = file_.size() >= entries_;
+  if (!alloc_free || (over_capacity && inject_overrun_ == 0)) {
     ++stats_.stalls_full;
     return false;
   }
+  if (over_capacity) --inject_overrun_;
   Entry entry;
   entry.block = block;
   entry.write = request.op == MemOp::kStore;
@@ -112,6 +127,10 @@ bool MshrCoalescer::intake(const RawRequest& request, Cycle now) {
   dispatch_queue_.push_back(key);
   alloc_port_used_at_ = now;
   ++stats_.raw_in;
+  MAC3D_CHECK(checks_, inv::kMshrOccupancy, file_.size() <= entries_, now,
+              "MSHR file occupancy " + std::to_string(file_.size()) +
+                  " exceeds " + std::to_string(entries_) + " entries");
+  MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag, now);
   return true;
 }
 
@@ -185,6 +204,14 @@ std::vector<CompletedAccess> MshrCoalescer::drain(Cycle now) {
     atomic_keys_.erase(key);
     file_.erase(it);
   }
+#if MAC3D_OBS_ENABLED
+  if (sink_ != nullptr) {
+    for (const CompletedAccess& done : out) {
+      sink_->on_stage(Stage::kResponseMatch, done.target.tid, done.target.tag,
+                      done.completed);
+    }
+  }
+#endif
 #if MAC3D_CHECKS_ENABLED
   if (conservation_ != nullptr) {
     for (const CompletedAccess& done : out) {

@@ -26,6 +26,7 @@ namespace mac3d {
 
 class CheckContext;
 class ConservationChecker;
+class EventSink;
 
 struct MshrStats {
   std::uint64_t raw_in = 0;
@@ -61,10 +62,28 @@ class MshrCoalescer {
   [[nodiscard]] Cycle next_event(Cycle now) const noexcept;
 
   [[nodiscard]] const MshrStats& stats() const noexcept { return stats_; }
+  /// Live MSHR file entries (cycle-sampler probe).
+  [[nodiscard]] std::size_t occupancy() const noexcept { return file_.size(); }
+  /// Entries waiting to dispatch a transaction (cycle-sampler probe).
+  [[nodiscard]] std::size_t dispatch_backlog() const noexcept {
+    return dispatch_queue_.size();
+  }
 
-  /// Enable request/response conservation checking (docs/INVARIANTS.md
-  /// §conservation). Same contract as MacCoalescer::attach_checks.
+  /// Enable request/response conservation checking plus the MSHR
+  /// occupancy-bound invariant (docs/INVARIANTS.md §cache). Same contract
+  /// as MacCoalescer::attach_checks.
   void attach_checks(CheckContext* context, const std::string& scope = "mshr");
+
+  /// Enable request-lifecycle telemetry (docs/OBSERVABILITY.md). The sink
+  /// must outlive the coalescer; pass nullptr to detach.
+  void attach_sink(EventSink* sink) noexcept { sink_ = sink; }
+
+  /// Deliberate model bug for the invariant test suite: let the next
+  /// `n` allocations ignore the entry-count capacity test, overfilling
+  /// the file (mshr.occupancy_bound must fire).
+  void inject_capacity_overrun(std::uint32_t n) noexcept {
+    inject_overrun_ = n;
+  }
 
  private:
   struct Entry {
@@ -98,6 +117,9 @@ class MshrCoalescer {
   TransactionId next_txn_ = 1;
   Cycle last_cycle_ = 0;
   MshrStats stats_;
+  std::uint32_t inject_overrun_ = 0;
+  CheckContext* checks_ = nullptr;
+  EventSink* sink_ = nullptr;
   std::unique_ptr<ConservationChecker> conservation_;
 };
 

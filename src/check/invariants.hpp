@@ -125,6 +125,20 @@ inline constexpr Invariant kTargetInPacket{
     "byte range",
     "Sec. 4.2", Severity::kError};
 
+// ---- Cache hierarchy (motivation study + MSHR baseline) -----------------
+
+inline constexpr Invariant kCacheLruStack{
+    "cache.lru_stack",
+    "after every access the touched line is its set's unique MRU: its "
+    "timestamp is the strict maximum and valid lines' timestamps are "
+    "pairwise distinct (the LRU stack property)",
+    "Sec. 2.1/Fig. 1", Severity::kError};
+
+inline constexpr Invariant kMshrOccupancy{
+    "mshr.occupancy_bound",
+    "the MSHR file never holds more entries than its configured capacity",
+    "Sec. 2.3", Severity::kFatal};
+
 // ---- Routers (node fabric) ----------------------------------------------
 
 inline constexpr Invariant kRouterClassification{

@@ -1,6 +1,7 @@
 #include "common/config.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <sstream>
@@ -238,6 +239,50 @@ void SimConfig::apply_env() {
   if (const char* overrides = std::getenv("MAC3D_CONFIG")) {
     parse_override_string(overrides);
   }
+}
+
+std::map<std::string, std::string> SimConfig::to_kv() const {
+  auto u = [](std::uint64_t value) { return std::to_string(value); };
+  auto f = [](double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return std::string(buf);
+  };
+  auto b = [](bool value) { return std::string(value ? "true" : "false"); };
+  // Keep this list in lock-step with the parse_overrides() setters map.
+  return {
+      {"cores", u(cores)},
+      {"cpu_ghz", f(cpu_ghz)},
+      {"spm_bytes", u(spm_bytes)},
+      {"spm_latency_ns", f(spm_latency_ns)},
+      {"nodes", u(nodes)},
+      {"hmc_links", u(hmc_links)},
+      {"hmc_capacity", u(hmc_capacity)},
+      {"row_bytes", u(row_bytes)},
+      {"vaults", u(vaults)},
+      {"banks_per_vault", u(banks_per_vault)},
+      {"vault_queue_depth", u(vault_queue_depth)},
+      {"link_queue_depth", u(link_queue_depth)},
+      {"t_link_flit", u(t_link_flit)},
+      {"t_serdes", u(t_serdes)},
+      {"t_vault_ctrl", u(t_vault_ctrl)},
+      {"t_bank_access", u(t_bank_access)},
+      {"t_bank_precharge", u(t_bank_precharge)},
+      {"t_row_data_flit", u(t_row_data_flit)},
+      {"t_refi", u(t_refi)},
+      {"t_rfc", u(t_rfc)},
+      {"open_page", b(open_page)},
+      {"t_bank_activate", u(t_bank_activate)},
+      {"t_bank_cas", u(t_bank_cas)},
+      {"arq_entries", u(arq_entries)},
+      {"arq_entry_bytes", u(arq_entry_bytes)},
+      {"arq_pop_interval", u(arq_pop_interval)},
+      {"builder_min_bytes", u(builder_min_bytes)},
+      {"fill_fast_enabled", b(fill_fast_enabled)},
+      {"mac_enabled", b(mac_enabled)},
+      {"remote_hop_cycles", u(remote_hop_cycles)},
+      {"queue_depth", u(queue_depth)},
+  };
 }
 
 std::string SimConfig::to_table() const {

@@ -111,6 +111,11 @@ struct SimConfig {
 
   /// Human-readable dump in Table 1 style.
   [[nodiscard]] std::string to_table() const;
+
+  /// Machine-readable snapshot: key -> JSON value token, one entry per
+  /// parse_overrides() key (a round-trip through parse_overrides()
+  /// reproduces this config). Used by the run report.
+  [[nodiscard]] std::map<std::string, std::string> to_kv() const;
 };
 
 }  // namespace mac3d

@@ -1,0 +1,69 @@
+// Minimal JSON emission helpers shared by StatSet::to_json, the
+// observability layer (src/obs/) and the bench report emitter. Writing
+// only — the simulator never parses JSON.
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace mac3d {
+
+/// Escape a string for inclusion inside JSON double quotes.
+inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Quote + escape in one step.
+inline std::string json_quote(std::string_view text) {
+  return '"' + json_escape(text) + '"';
+}
+
+/// Format a double as a JSON number token at full round-trip precision.
+/// Integral values print without an exponent/fraction; non-finite values
+/// (illegal in JSON) degrade to null.
+inline std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Integers up to 2^53 round-trip exactly and read better than 1e+06.
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<std::int64_t>(value));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Format an unsigned 64-bit counter as a JSON number token.
+inline std::string json_number(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+}  // namespace mac3d

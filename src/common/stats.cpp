@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/json.hpp"
+
 namespace mac3d {
 
 void RunningStat::add(double sample) noexcept {
@@ -36,23 +38,65 @@ void Histogram::add(std::uint64_t value) noexcept {
                  : std::min<std::size_t>(buckets_.size() - 1,
                                          64 - std::countl_zero(value));
   ++buckets_[bucket];
+  if (total_ == 0) {
+    min_value_ = max_value_ = value;
+  } else {
+    min_value_ = std::min(min_value_, value);
+    max_value_ = std::max(max_value_, value);
+  }
   ++total_;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.total_ == 0) return;
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    // Counts beyond this histogram's width fold into the saturating last
+    // bucket — the same bucket add() would have chosen for those values.
+    const std::size_t bucket = std::min(i, buckets_.size() - 1);
+    buckets_[bucket] += other.buckets_[i];
+  }
+  if (total_ == 0) {
+    min_value_ = other.min_value_;
+    max_value_ = other.max_value_;
+  } else {
+    min_value_ = std::min(min_value_, other.min_value_);
+    max_value_ = std::max(max_value_, other.max_value_);
+  }
+  total_ += other.total_;
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t i) noexcept {
+  if (i == 0) return 0;
+  if (i >= 64) return ~0ULL;
+  return std::uint64_t{1} << (i - 1);
 }
 
 std::uint64_t Histogram::quantile(double q) const noexcept {
   if (total_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  const auto threshold =
-      static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  if (q <= 0.0) return min_value_;
+  if (q >= 1.0) return max_value_;
+  // Rank statistics: the k-th smallest sample with k = ceil(q * total),
+  // clamped to [1, total]. The old threshold formulation returned bucket
+  // 0's edge for any q with q * total < 1 — q=0.01 on a histogram whose
+  // smallest sample is 10^6 reported 0.
+  const double exact = q * static_cast<double>(total_);
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;
+  rank = std::clamp<std::uint64_t>(rank, 1, total_);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
-    if (seen >= threshold) {
-      // Upper edge of bucket i covers values < 2^i.
-      return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+    if (seen >= rank) {
+      // Upper edge of bucket i covers values < 2^i; clamping into
+      // [min, max] keeps single-bucket and saturated-last-bucket
+      // histograms from reporting edges no sample ever reached.
+      const std::uint64_t edge =
+          i == 0 ? 0
+                 : (i >= 64 ? ~0ULL : (std::uint64_t{1} << i) - 1);
+      return std::clamp(edge, min_value_, max_value_);
     }
   }
-  return ~0ULL;
+  return max_value_;
 }
 
 double StatSet::get(const std::string& name) const {
@@ -80,6 +124,21 @@ std::string StatSet::to_csv() const {
     out << name << ',' << value << '\n';
   }
   return out.str();
+}
+
+std::string StatSet::to_json() const {
+  // values_ is a std::map, so iteration order is already sorted by key.
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quote(name);
+    out += ':';
+    out += json_number(value);
+  }
+  out += '}';
+  return out;
 }
 
 }  // namespace mac3d

@@ -36,16 +36,32 @@ class Histogram {
   explicit Histogram(std::size_t buckets = 32) : buckets_(buckets, 0) {}
 
   void add(std::uint64_t value) noexcept;
+  /// Fold another histogram in. A shorter histogram widens; counts from a
+  /// longer one land in this histogram's saturating last bucket, exactly
+  /// as add() would have placed the underlying values.
+  void merge(const Histogram& other) noexcept;
+
   [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
     return buckets_;
   }
-  /// Approximate p-quantile (q in [0,1]) from bucket boundaries.
+  /// Smallest / largest value ever added (0 when empty).
+  [[nodiscard]] std::uint64_t min_value() const noexcept {
+    return total_ == 0 ? 0 : min_value_;
+  }
+  [[nodiscard]] std::uint64_t max_value() const noexcept { return max_value_; }
+  /// Inclusive lower edge of bucket i: 0, 1, 2, 4, 8, ...
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t i) noexcept;
+  /// Approximate p-quantile (q in [0,1]). q=0 returns the exact minimum,
+  /// q=1 the exact maximum; interior ranks resolve to their bucket's upper
+  /// edge clamped into [min, max].
   [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
 
  private:
   std::vector<std::uint64_t> buckets_;
   std::uint64_t total_ = 0;
+  std::uint64_t min_value_ = 0;
+  std::uint64_t max_value_ = 0;
 };
 
 /// Flat name -> value map every component dumps its counters into.
@@ -68,6 +84,9 @@ class StatSet {
   [[nodiscard]] std::string to_string() const;
   /// Render as "name,value" CSV lines.
   [[nodiscard]] std::string to_csv() const;
+  /// Render as a JSON object — keys sorted, numbers at full round-trip
+  /// precision (a parse of the output reproduces every double bit-exactly).
+  [[nodiscard]] std::string to_json() const;
 
  private:
   std::map<std::string, double> values_;

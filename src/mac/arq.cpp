@@ -30,7 +30,8 @@ Arq::Arq(const SimConfig& config, const AddressMap& map)
       fill_fast_enabled_(config.fill_fast_enabled) {}
 
 Arq::InsertResult Arq::insert(const RawRequest& request, Cycle now,
-                              bool allow_merge, bool allow_alloc) {
+                              bool allow_merge, bool allow_alloc,
+                              const ArqEntry** merged_into) {
   if (request.op == MemOp::kFence) {
     if (!allow_alloc || full()) return InsertResult::kRejected;
     stats_.occupancy.add(static_cast<double>(entries_.size()));
@@ -125,6 +126,7 @@ Arq::InsertResult Arq::insert(const RawRequest& request, Cycle now,
                   entry.targets.size() <= max_targets_, now,
                   describe_entry(entry) + " exceeds max_targets=" +
                       std::to_string(max_targets_));
+      if (merged_into != nullptr) *merged_into = &entry;
       return InsertResult::kMerged;
     }
   }

@@ -85,10 +85,13 @@ class Arq {
   /// Present one raw request. The ARQ is dual-ported per cycle: the
   /// coalescer passes `allow_merge` / `allow_alloc` according to which
   /// port is still free this cycle. Merging does not need a free slot;
-  /// allocation needs one.
+  /// allocation needs one. On kMerged, `*merged_into` (when non-null) is
+  /// pointed at the absorbing entry — valid only until the next
+  /// insert/pop (telemetry reads the entry's lead target from it).
   [[nodiscard]] InsertResult insert(const RawRequest& request, Cycle now,
                                     bool allow_merge = true,
-                                    bool allow_alloc = true);
+                                    bool allow_alloc = true,
+                                    const ArqEntry** merged_into = nullptr);
 
   /// Entry at the head, if any.
   [[nodiscard]] const ArqEntry& front() const { return entries_.front(); }

@@ -5,6 +5,7 @@
 
 #include "check/check.hpp"
 #include "check/conservation.hpp"
+#include "obs/obs.hpp"
 
 namespace mac3d {
 
@@ -54,14 +55,27 @@ bool MacCoalescer::try_accept(const RawRequest& request, Cycle now) {
   const bool alloc_free = alloc_port_used_at_ != now;
   if (!merge_free && !alloc_free) return false;
 
+  const ArqEntry* merged_into = nullptr;
   const Arq::InsertResult result =
-      arq_.insert(request, now, merge_free, alloc_free);
+      arq_.insert(request, now, merge_free, alloc_free, &merged_into);
   switch (result) {
     case Arq::InsertResult::kMerged:
       merge_port_used_at_ = now;
+      MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag,
+                      now);
+      MAC3D_OBS_STAMP(sink_, Stage::kMerge, request.tid, request.tag, now);
+#if MAC3D_OBS_ENABLED
+      if (sink_ != nullptr && merged_into != nullptr &&
+          !merged_into->targets.empty()) {
+        const Target& leader = merged_into->targets.front();
+        sink_->on_merge(request.tid, request.tag, leader.tid, leader.tag, now);
+      }
+#endif
       break;
     case Arq::InsertResult::kAllocated:
       alloc_port_used_at_ = now;
+      MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag,
+                      now);
       break;
     case Arq::InsertResult::kRejected:
       return false;
@@ -140,7 +154,15 @@ void MacCoalescer::pop_stage(Cycle now) {
   }
 
   if (builder_.can_accept(now)) {
-    builder_.accept(arq_.pop(), now);
+    ArqEntry entry = arq_.pop();
+#if MAC3D_OBS_ENABLED
+    if (sink_ != nullptr) {
+      for (const Target& target : entry.targets) {
+        sink_->on_stage(Stage::kBuilderPick, target.tid, target.tag, now);
+      }
+    }
+#endif
+    builder_.accept(std::move(entry), now);
     next_pop_at_ = now + config_.arq_pop_interval;
   }
 }
@@ -151,6 +173,13 @@ void MacCoalescer::issue_stage(Cycle now) {
     IssueItem item;
     item.request = builder_.pop_output(now);
     item.ready_at = now;
+#if MAC3D_OBS_ENABLED
+    if (sink_ != nullptr) {
+      for (const Target& target : item.request.targets) {
+        sink_->on_stage(Stage::kFlitAlloc, target.tid, target.tag, now);
+      }
+    }
+#endif
     issue_queue_.push_back(std::move(item));
   }
 
@@ -204,6 +233,14 @@ std::vector<CompletedAccess> MacCoalescer::drain(Cycle now) {
     }
   }
   stats_.completions += out.size();
+#if MAC3D_OBS_ENABLED
+  if (sink_ != nullptr) {
+    for (const CompletedAccess& done : out) {
+      sink_->on_stage(Stage::kResponseMatch, done.target.tid, done.target.tag,
+                      done.completed);
+    }
+  }
+#endif
 #if MAC3D_CHECKS_ENABLED
   if (conservation_ != nullptr) {
     for (const CompletedAccess& done : out) {

@@ -29,6 +29,7 @@ namespace mac3d {
 
 class CheckContext;
 class ConservationChecker;
+class EventSink;
 
 /// One raw request's completion, de-coalesced from a packet response
 /// (or a retired fence).
@@ -102,6 +103,10 @@ class MacCoalescer {
 
   [[nodiscard]] const MacStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const Arq& arq() const noexcept { return arq_; }
+  /// Built/bypassed packets waiting on the link (cycle-sampler probe).
+  [[nodiscard]] std::size_t issue_backlog() const noexcept {
+    return issue_queue_.size();
+  }
   [[nodiscard]] const RequestBuilder& builder() const noexcept {
     return builder_;
   }
@@ -125,6 +130,12 @@ class MacCoalescer {
   void inject_truncate_next_packet() noexcept {
     builder_.inject_truncate_next_packet();
   }
+
+  /// Enable request-lifecycle telemetry (docs/OBSERVABILITY.md): stamps
+  /// queue_insert/merge at intake, builder_pick/flit_alloc through the
+  /// pipeline and response_match at drain. The sink must outlive the
+  /// coalescer; pass nullptr to detach.
+  void attach_sink(EventSink* sink) noexcept { sink_ = sink; }
 
  private:
   struct IssueItem {
@@ -156,6 +167,7 @@ class MacCoalescer {
   TransactionId next_txn_ = 1;
   MacStats stats_;
   CheckContext* checks_ = nullptr;
+  EventSink* sink_ = nullptr;
   std::unique_ptr<ConservationChecker> conservation_;
 };
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "check/hmc_checks.hpp"
+#include "obs/obs.hpp"
 
 namespace mac3d {
 
@@ -118,6 +119,17 @@ Cycle HmcDevice::submit(HmcRequest request, Cycle now) {
   const Cycle completed =
       link.send_response(resp_ready, resp_flits) + config_.t_serdes;
 
+#if MAC3D_OBS_ENABLED
+  if (sink_ != nullptr) {
+    // Raw-path and MAC packets carry the merged target identities; stamp
+    // each one at link handoff and at the scheduled bank-access start.
+    for (const Target& target : request.targets) {
+      sink_->on_stage(Stage::kLinkSerialize, target.tid, target.tag, now);
+      sink_->on_stage(Stage::kBankAccess, target.tid, target.tag, sched.start);
+    }
+  }
+#endif
+
 #if MAC3D_CHECKS_ENABLED
   if (checker_ != nullptr) {
     checker_->on_bank_access(map_.global_bank(row), at_bank, sched.start,
@@ -170,6 +182,25 @@ std::vector<HmcResponse> HmcDevice::drain(Cycle now) {
     pending_.pop();
   }
   return done;
+}
+
+double HmcDevice::banks_busy_fraction(Cycle now) const noexcept {
+  if (banks_.empty()) return 0.0;
+  std::size_t busy = 0;
+  for (const Bank& bank : banks_) busy += bank.busy(now) ? 1 : 0;
+  return static_cast<double>(busy) / static_cast<double>(banks_.size());
+}
+
+double HmcDevice::vault_busy_fraction(std::uint32_t vault,
+                                      Cycle now) const noexcept {
+  const std::size_t first =
+      static_cast<std::size_t>(vault) * config_.banks_per_vault;
+  std::size_t busy = 0;
+  for (std::size_t i = 0; i < config_.banks_per_vault; ++i) {
+    busy += banks_[first + i].busy(now) ? 1 : 0;
+  }
+  return static_cast<double>(busy) /
+         static_cast<double>(config_.banks_per_vault);
 }
 
 std::pair<std::uint64_t, std::uint64_t> HmcDevice::link_flits() const {

@@ -25,6 +25,7 @@
 namespace mac3d {
 
 class CheckContext;
+class EventSink;
 class HmcChecker;
 
 /// Aggregate device counters.
@@ -91,6 +92,31 @@ class HmcDevice {
   /// Per-link FLIT totals (request dir, response dir).
   [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> link_flits() const;
 
+  // ---- Cycle-sampler probes (docs/OBSERVABILITY.md) ----------------------
+  /// Fraction of all banks busy (activating/moving data/precharging) at
+  /// `now`.
+  [[nodiscard]] double banks_busy_fraction(Cycle now) const noexcept;
+  /// Fraction of one vault's banks busy at `now`.
+  [[nodiscard]] double vault_busy_fraction(std::uint32_t vault,
+                                           Cycle now) const noexcept;
+  [[nodiscard]] std::uint32_t vault_count() const noexcept {
+    return config_.vaults;
+  }
+  [[nodiscard]] std::uint32_t link_count() const noexcept {
+    return static_cast<std::uint32_t>(links_.size());
+  }
+  /// Request-direction serialization backlog of one link, in cycles.
+  [[nodiscard]] Cycle link_request_backlog(std::uint32_t link,
+                                           Cycle now) const noexcept {
+    return links_[link].request_backlog(now);
+  }
+  /// Cumulative FLITs moved by one link (both directions) — sampled as a
+  /// monotone counter; consumers difference adjacent rows for utilization.
+  [[nodiscard]] std::uint64_t link_flits_sent(std::uint32_t link) const noexcept {
+    return links_[link].request_flits_sent() +
+           links_[link].response_flits_sent();
+  }
+
   void reset();
 
   /// Enable model-invariant checking (docs/INVARIANTS.md §hmc). The
@@ -105,6 +131,12 @@ class HmcDevice {
   };
   /// Arm a one-shot fault applied to the next submitted request.
   void inject_fault(Fault fault) noexcept { fault_ = fault; }
+
+  /// Enable request-lifecycle telemetry (docs/OBSERVABILITY.md): stamps
+  /// link_serialize and bank_access for every merged target of a packet
+  /// that carries target identities. The sink must outlive the device;
+  /// pass nullptr to detach.
+  void attach_sink(EventSink* sink) noexcept { sink_ = sink; }
 
  private:
   struct PendingGreater {
@@ -128,6 +160,7 @@ class HmcDevice {
       pending_;
   HmcStats stats_;
   CheckContext* checks_ = nullptr;
+  EventSink* sink_ = nullptr;
   std::unique_ptr<HmcChecker> checker_;
   Fault fault_ = Fault::kNone;
 };

@@ -1,0 +1,254 @@
+#include "obs/lifecycle.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.hpp"
+
+namespace mac3d {
+namespace {
+
+constexpr std::uint32_t kMaxLanesPerThread = 256;
+
+[[nodiscard]] std::uint32_t record_key(ThreadId tid, Tag tag) noexcept {
+  return (static_cast<std::uint32_t>(tid) << 16) | tag;
+}
+
+[[nodiscard]] bool is_entry_stage(Stage stage) noexcept {
+  return stage == Stage::kCoreIssue || stage == Stage::kRouterEnqueue;
+}
+
+}  // namespace
+
+LifecycleTracer::~LifecycleTracer() { finish(); }
+
+bool LifecycleTracer::open_trace(const std::string& file) {
+  trace_out_.open(file, std::ios::out | std::ios::trunc);
+  if (!trace_out_.is_open()) return false;
+  trace_out_ << "{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n";
+  trace_open_ = true;
+  return true;
+}
+
+void LifecycleTracer::ensure_path() {
+  if (current_ == nullptr) begin_path("default");
+}
+
+void LifecycleTracer::begin_path(std::string name) {
+  // Requests the previous window never completed are audit failures, not
+  // state to carry over.
+  abandoned_records_ += open_.size();
+  for (auto& [key, record] : open_) release_lane(record);
+  open_.clear();
+  lanes_.clear();
+
+  paths_.emplace_back();
+  current_ = &paths_.back();
+  current_->name = std::move(name);
+
+  if (trace_open_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%zu,\"name\":\"process_name\","
+                  "\"args\":{\"name\":\"%s\"}}",
+                  paths_.size(), json_escape(current_->name).c_str());
+    emit_event(buf);
+  }
+}
+
+void LifecycleTracer::finish() {
+  if (finished_) return;
+  abandoned_records_ += open_.size();
+  open_.clear();
+  lanes_.clear();
+  if (trace_open_) {
+    trace_out_ << "\n]}\n";
+    trace_out_.close();
+    trace_open_ = false;
+  }
+  finished_ = true;
+}
+
+void LifecycleTracer::on_stage(Stage stage, ThreadId tid, Tag tag,
+                               Cycle cycle) {
+  ensure_path();
+  const std::uint32_t key = record_key(tid, tag);
+  auto it = open_.find(key);
+  if (it == open_.end()) {
+    Record record;
+    record.tid = tid;
+    record.tag = tag;
+    record.stamps.push_back({stage, cycle});
+    assign_lane(record);
+    it = open_.emplace(key, std::move(record)).first;
+  } else {
+    it->second.stamps.push_back({stage, cycle});
+  }
+  if (stage == Stage::kCoreComplete) {
+    Record record = std::move(it->second);
+    open_.erase(it);
+    finalize_record(std::move(record));
+  }
+}
+
+void LifecycleTracer::on_merge(ThreadId tid, Tag tag, ThreadId leader_tid,
+                               Tag leader_tag, Cycle cycle) {
+  ensure_path();
+  ++current_->merges;
+  if (!trace_open_) return;
+  const auto merged = open_.find(record_key(tid, tag));
+  const auto leader = open_.find(record_key(leader_tid, leader_tag));
+  if (merged == open_.end() || leader == open_.end()) return;
+  if (!merged->second.has_lane || !leader->second.has_lane) return;
+  const std::uint64_t id = ++flow_ids_;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"s\",\"cat\":\"merge\",\"name\":\"merge\","
+                "\"id\":%" PRIu64 ",\"pid\":%zu,\"tid\":%" PRIu64
+                ",\"ts\":%" PRIu64 "}",
+                id, paths_.size(), chrome_tid(merged->second), cycle);
+  emit_event(buf);
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"merge\",\"name\":"
+                "\"merge\",\"id\":%" PRIu64 ",\"pid\":%zu,\"tid\":%" PRIu64
+                ",\"ts\":%" PRIu64 "}",
+                id, paths_.size(), chrome_tid(leader->second), cycle);
+  emit_event(buf);
+}
+
+void LifecycleTracer::finalize_record(Record&& record) {
+  audit(record);
+
+  auto& path = *current_;
+  const auto& stamps = record.stamps;
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    if (stamps[i].cycle >= stamps[i - 1].cycle) {
+      path.stage_latency[static_cast<std::size_t>(stamps[i].stage)].add(
+          stamps[i].cycle - stamps[i - 1].cycle);
+    }
+  }
+  if (stamps.back().cycle >= stamps.front().cycle) {
+    path.request_latency.add(stamps.back().cycle - stamps.front().cycle);
+  }
+  ++path.completed;
+  ++completed_total_;
+
+  if (trace_open_) emit_record(record);
+  release_lane(record);
+  if (keep_records_) path.records.push_back(std::move(record));
+}
+
+void LifecycleTracer::audit(const Record& record) {
+  const auto& stamps = record.stamps;
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    if (stamps[i].cycle < stamps[i - 1].cycle ||
+        static_cast<int>(stamps[i].stage) <=
+            static_cast<int>(stamps[i - 1].stage)) {
+      ++monotonicity_errors_;
+    }
+  }
+  const bool has_insert =
+      std::any_of(stamps.begin(), stamps.end(), [](const Stamp& s) {
+        return s.stage == Stage::kQueueInsert;
+      });
+  const bool has_match =
+      std::any_of(stamps.begin(), stamps.end(), [](const Stamp& s) {
+        return s.stage == Stage::kResponseMatch;
+      });
+  if (!is_entry_stage(stamps.front().stage) || !has_insert || !has_match ||
+      stamps.back().stage != Stage::kCoreComplete) {
+    ++completeness_errors_;
+  }
+}
+
+void LifecycleTracer::assign_lane(Record& record) {
+  if (!trace_open_) return;
+  auto& lanes = lanes_[record.tid];
+  if (!lanes.free.empty()) {
+    record.lane = lanes.free.back();
+    lanes.free.pop_back();
+  } else {
+    record.lane = lanes.next++;
+    if (record.lane < kMaxLanesPerThread) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"pid\":%zu,\"tid\":%" PRIu64
+                    ",\"name\":\"thread_name\",\"args\":{\"name\":\"t%u.%u\"}}",
+                    paths_.size(),
+                    (static_cast<std::uint64_t>(record.tid) << 8) | record.lane,
+                    static_cast<unsigned>(record.tid),
+                    static_cast<unsigned>(record.lane));
+      emit_event(buf);
+    }
+  }
+  record.has_lane = true;
+}
+
+void LifecycleTracer::release_lane(const Record& record) {
+  if (!record.has_lane) return;
+  lanes_[record.tid].free.push_back(record.lane);
+}
+
+std::uint64_t LifecycleTracer::chrome_tid(const Record& record) const {
+  // Per-thread virtual lanes: one Perfetto track per concurrently open
+  // request of a thread. Lanes past kMaxLanesPerThread share the last
+  // track (cosmetic only; B/E events still balance).
+  const std::uint32_t lane = std::min(record.lane, kMaxLanesPerThread - 1);
+  return (static_cast<std::uint64_t>(record.tid) << 8) | lane;
+}
+
+void LifecycleTracer::emit_record(const Record& record) {
+  const auto& stamps = record.stamps;
+  const std::uint64_t tid = chrome_tid(record);
+  const std::size_t pid = paths_.size();
+  char buf[224];
+  // Enclosing request slice spanning the whole lifecycle.
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"B\",\"cat\":\"request\",\"name\":\"t%u#%u\","
+                "\"pid\":%zu,\"tid\":%" PRIu64 ",\"ts\":%" PRIu64
+                ",\"args\":{\"tid\":%u,\"tag\":%u}}",
+                static_cast<unsigned>(record.tid),
+                static_cast<unsigned>(record.tag), pid, tid,
+                stamps.front().cycle, static_cast<unsigned>(record.tid),
+                static_cast<unsigned>(record.tag));
+  emit_event(buf);
+  // One nested slice per inter-stage segment (zero-length segments are
+  // elided: at this resolution they carry no information).
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    if (stamps[i].cycle <= stamps[i - 1].cycle) continue;
+    const std::string_view name = to_string(stamps[i].stage);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"B\",\"cat\":\"stage\",\"name\":\"%.*s\","
+                  "\"pid\":%zu,\"tid\":%" PRIu64 ",\"ts\":%" PRIu64 "}",
+                  static_cast<int>(name.size()), name.data(), pid, tid,
+                  stamps[i - 1].cycle);
+    emit_event(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"E\",\"pid\":%zu,\"tid\":%" PRIu64
+                  ",\"ts\":%" PRIu64 "}",
+                  pid, tid, stamps[i].cycle);
+    emit_event(buf);
+  }
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"E\",\"pid\":%zu,\"tid\":%" PRIu64 ",\"ts\":%" PRIu64
+                "}",
+                pid, tid, stamps.back().cycle);
+  emit_event(buf);
+}
+
+void LifecycleTracer::emit_event(const std::string& json) {
+  if (events_written_ != 0) trace_out_ << ",\n";
+  trace_out_ << json;
+  ++events_written_;
+}
+
+const LifecycleTracer::PathTelemetry* LifecycleTracer::path(
+    std::string_view name) const {
+  for (auto it = paths_.rbegin(); it != paths_.rend(); ++it) {
+    if (it->name == name) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace mac3d

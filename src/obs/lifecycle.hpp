@@ -1,0 +1,139 @@
+// LifecycleTracer: the standard EventSink. Collects per-request stage
+// stamps, audits them (monotonic, complete), folds them into per-path
+// per-stage latency Histograms, and optionally streams the full timeline
+// as Chrome/Perfetto trace-event JSON.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "obs/obs.hpp"
+
+namespace mac3d {
+
+class LifecycleTracer final : public EventSink {
+ public:
+  struct Stamp {
+    Stage stage;
+    Cycle cycle;
+  };
+
+  /// One raw request's full stamped lifecycle.
+  struct Record {
+    ThreadId tid = 0;
+    Tag tag = 0;
+    std::uint32_t lane = 0;  ///< virtual track within the thread (trace only)
+    bool has_lane = false;
+    std::vector<Stamp> stamps;
+  };
+
+  /// Aggregated telemetry for one memory path (one begin_path window).
+  struct PathTelemetry {
+    std::string name;
+    /// stage_latency[s] = distribution of (cycle at stage s) − (cycle at
+    /// the previous stamped stage) — i.e. time *spent reaching* stage s.
+    std::array<Histogram, kStageCount> stage_latency;
+    /// End-to-end core_issue -> core_complete distribution.
+    Histogram request_latency{40};
+    std::uint64_t completed = 0;
+    std::uint64_t merges = 0;
+    /// Full records, retained only under keep_records(true) (tests).
+    std::vector<Record> records;
+  };
+
+  LifecycleTracer() = default;
+  ~LifecycleTracer() override;
+
+  /// Start streaming Chrome trace-event JSON to `file`. Call before the
+  /// first begin_path(). Returns false (and stays off) if the file cannot
+  /// be opened.
+  bool open_trace(const std::string& file);
+
+  /// Retain completed Records in PathTelemetry::records (test hook).
+  void keep_records(bool keep) noexcept { keep_records_ = keep; }
+
+  /// Open a telemetry window for the named path; requests still open from
+  /// the previous window are counted as abandoned.
+  void begin_path(std::string name);
+
+  /// Close the current window and finish the trace file (emits the JSON
+  /// footer). Idempotent; the destructor calls it as a safety net.
+  void finish();
+
+  // EventSink
+  void on_stage(Stage stage, ThreadId tid, Tag tag, Cycle cycle) override;
+  void on_merge(ThreadId tid, Tag tag, ThreadId leader_tid, Tag leader_tag,
+                Cycle cycle) override;
+
+  [[nodiscard]] const std::deque<PathTelemetry>& paths() const noexcept {
+    return paths_;
+  }
+  /// Telemetry window for `name` (latest if repeated); null when absent.
+  [[nodiscard]] const PathTelemetry* path(std::string_view name) const;
+
+  // ---- Audit counters (all zero on a healthy run) ------------------------
+  /// Stamps that ran backwards in cycle or stage order within a request.
+  [[nodiscard]] std::uint64_t monotonicity_errors() const noexcept {
+    return monotonicity_errors_;
+  }
+  /// Completed requests missing an entry stamp, queue_insert or
+  /// response_match.
+  [[nodiscard]] std::uint64_t completeness_errors() const noexcept {
+    return completeness_errors_;
+  }
+  /// Requests whose window closed before core_complete arrived.
+  [[nodiscard]] std::uint64_t abandoned_records() const noexcept {
+    return abandoned_records_;
+  }
+
+  [[nodiscard]] std::uint64_t completed_records() const noexcept {
+    return completed_total_;
+  }
+  [[nodiscard]] std::size_t open_records() const noexcept {
+    return open_.size();
+  }
+  [[nodiscard]] std::uint64_t trace_events_written() const noexcept {
+    return events_written_;
+  }
+
+ private:
+  struct LaneAlloc {
+    std::vector<std::uint32_t> free;
+    std::uint32_t next = 0;
+  };
+
+  void ensure_path();
+  void finalize_record(Record&& record);
+  void audit(const Record& record);
+  void emit_record(const Record& record);
+  void emit_event(const std::string& json);
+  void assign_lane(Record& record);
+  void release_lane(const Record& record);
+  [[nodiscard]] std::uint64_t chrome_tid(const Record& record) const;
+
+  std::deque<PathTelemetry> paths_;
+  PathTelemetry* current_ = nullptr;
+  std::unordered_map<std::uint32_t, Record> open_;
+  std::unordered_map<ThreadId, LaneAlloc> lanes_;
+
+  std::ofstream trace_out_;
+  bool trace_open_ = false;
+  bool finished_ = false;
+  bool keep_records_ = false;
+  std::uint64_t events_written_ = 0;
+  std::uint64_t flow_ids_ = 0;
+
+  std::uint64_t monotonicity_errors_ = 0;
+  std::uint64_t completeness_errors_ = 0;
+  std::uint64_t abandoned_records_ = 0;
+  std::uint64_t completed_total_ = 0;
+};
+
+}  // namespace mac3d

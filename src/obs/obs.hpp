@@ -1,0 +1,102 @@
+// Observability core: the request-lifecycle stage taxonomy and the
+// EventSink interface components stamp into.
+//
+// Contract (mirrors src/check/): every instrumented component holds an
+// `EventSink* sink_` that is null unless a sink is attached for the run.
+// Stamp sites go through MAC3D_OBS_STAMP / MAC3D_OBS_MERGE, which reduce
+// to a single null-pointer test when no sink is attached and compile to
+// nothing under -DMAC3D_OBS=OFF. See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace mac3d {
+
+/// Pipeline boundaries a raw request crosses between the core issuing it
+/// and the core seeing its completion. Enum order is pipeline order: along
+/// any concrete path the stages a request visits are strictly increasing
+/// (stages may share a cycle, e.g. insert + merge).
+enum class Stage : std::uint8_t {
+  kCoreIssue = 0,   ///< core presents the request to its memory path
+  kRouterEnqueue,   ///< node fabric accepted it (local or remote queue)
+  kQueueInsert,     ///< ARQ / raw FIFO / MSHR file accepted it
+  kMerge,           ///< coalesced into an existing ARQ/MSHR entry
+  kBuilderPick,     ///< ARQ popped the entry into the request builder
+  kFlitAlloc,       ///< FLIT-table lookup sized the packet (issue queue)
+  kLinkSerialize,   ///< packet started serializing onto an HMC link
+  kBankAccess,      ///< DRAM bank access started (ACT+CAS, Sec. 2.2.1)
+  kResponseMatch,   ///< response de-coalesced / matched back to the request
+  kCoreComplete,    ///< driver/core observed the completion
+};
+
+inline constexpr std::size_t kStageCount = 10;
+
+[[nodiscard]] constexpr std::string_view to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kCoreIssue: return "core_issue";
+    case Stage::kRouterEnqueue: return "router_enqueue";
+    case Stage::kQueueInsert: return "queue_insert";
+    case Stage::kMerge: return "merge";
+    case Stage::kBuilderPick: return "builder_pick";
+    case Stage::kFlitAlloc: return "flit_alloc";
+    case Stage::kLinkSerialize: return "link_serialize";
+    case Stage::kBankAccess: return "bank_access";
+    case Stage::kResponseMatch: return "response_match";
+    case Stage::kCoreComplete: return "core_complete";
+  }
+  return "?";
+}
+
+/// Receiver for lifecycle stamps. Implementations must tolerate stamps in
+/// component-call order: within one cycle a path may stamp kQueueInsert
+/// before the driver stamps nothing else — but cycles never run backwards
+/// per request.
+class EventSink {
+ public:
+  EventSink() = default;
+  EventSink(const EventSink&) = delete;
+  EventSink& operator=(const EventSink&) = delete;
+  virtual ~EventSink() = default;
+
+  /// A request identified by (tid, tag) crossed `stage` at `cycle`.
+  virtual void on_stage(Stage stage, ThreadId tid, Tag tag, Cycle cycle) = 0;
+
+  /// Request (tid, tag) merged into the coalesced entry led by
+  /// (leader_tid, leader_tag) at `cycle` (rendered as a flow event).
+  virtual void on_merge(ThreadId tid, Tag tag, ThreadId leader_tid,
+                        Tag leader_tag, Cycle cycle) {
+    (void)tid;
+    (void)tag;
+    (void)leader_tid;
+    (void)leader_tag;
+    (void)cycle;
+  }
+};
+
+}  // namespace mac3d
+
+#if MAC3D_OBS_ENABLED
+#define MAC3D_OBS_STAMP(sink, stage, tid, tag, cycle)  \
+  do {                                                 \
+    if ((sink) != nullptr) {                           \
+      (sink)->on_stage((stage), (tid), (tag), (cycle)); \
+    }                                                  \
+  } while (0)
+#define MAC3D_OBS_MERGE(sink, tid, tag, leader_tid, leader_tag, cycle)      \
+  do {                                                                      \
+    if ((sink) != nullptr) {                                                \
+      (sink)->on_merge((tid), (tag), (leader_tid), (leader_tag), (cycle));  \
+    }                                                                       \
+  } while (0)
+#else
+#define MAC3D_OBS_STAMP(sink, stage, tid, tag, cycle) \
+  do {                                                \
+  } while (0)
+#define MAC3D_OBS_MERGE(sink, tid, tag, leader_tid, leader_tag, cycle) \
+  do {                                                                 \
+  } while (0)
+#endif

@@ -8,6 +8,8 @@
 #include "check/check.hpp"
 #include "mac/coalescer.hpp"
 #include "mem/hmc_device.hpp"
+#include "obs/obs.hpp"
+#include "obs/sampler.hpp"
 #include "sim/raw_path.hpp"
 
 namespace mac3d {
@@ -57,12 +59,14 @@ struct LoopResult {
 template <typename Path>
 LoopResult run_streaming(Path& path, const MemoryTrace& trace,
                          const SimConfig& config, std::uint32_t threads,
-                         bool charge_gaps) {
+                         const DriveOptions& options) {
   struct ThreadCursor {
     std::size_t next = 0;
     Cycle arrive_at = 0;  ///< when the current record reaches the queue
     Tag tag = 0;
+    bool stamped = false;  ///< core_issue emitted for the current record
   };
+  const bool charge_gaps = options.charge_gaps;
 
   threads = std::min(threads, trace.threads());
   std::vector<ThreadCursor> cursors(threads);
@@ -104,6 +108,14 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
         request.tid = tid;
         request.tag = cursor.tag;
         request.core = static_cast<CoreId>(t % config.cores);
+#if MAC3D_OBS_ENABLED
+        // core_issue marks the first presentation attempt; the delta to the
+        // path's queue_insert measures intake back-pressure.
+        if (options.sink != nullptr && !cursor.stamped) {
+          options.sink->on_stage(Stage::kCoreIssue, tid, cursor.tag, now);
+          cursor.stamped = true;
+        }
+#endif
         if (!path.try_accept(request, now)) {
           intake_open = false;
           break;
@@ -111,6 +123,7 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
         tag_busy[t][cursor.tag] = true;
         ++cursor.tag;
         ++cursor.next;
+        cursor.stamped = false;
         --records_left;
         // Open-loop pacing: the next record arrives `gap` core cycles
         // after this one *was generated* (arrivals can back up).
@@ -128,10 +141,15 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
     for (const CompletedAccess& done : path.drain(now)) {
       result.makespan = std::max(result.makespan, done.completed);
       ++result.completions;
+      MAC3D_OBS_STAMP(options.sink, Stage::kCoreComplete, done.target.tid,
+                      done.target.tag, done.completed);
       if (done.target.tid < threads) {
         tag_busy[done.target.tid][done.target.tag] = false;
       }
     }
+#if MAC3D_OBS_ENABLED
+    if (options.sampler != nullptr) options.sampler->advance_to(now);
+#endif
 
     // Advance time.
     Cycle next = kNever;
@@ -180,6 +198,7 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
     std::uint32_t stores = 0;  ///< store-buffer occupancy
     Cycle ready_at = 0;
     Tag tag = 0;
+    bool stamped = false;  ///< core_issue emitted for the current record
   };
 
   threads = std::min(threads, trace.threads());
@@ -236,12 +255,19 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
         request.tid = tid;
         request.tag = cursor.tag;
         request.core = static_cast<CoreId>(t % config.cores);
+#if MAC3D_OBS_ENABLED
+        if (options.sink != nullptr && !cursor.stamped) {
+          options.sink->on_stage(Stage::kCoreIssue, tid, cursor.tag, now);
+          cursor.stamped = true;
+        }
+#endif
         if (!path.try_accept(request, now)) {
           intake_open = false;  // ports exhausted for this cycle
           break;
         }
         ++cursor.tag;
         ++cursor.next;
+        cursor.stamped = false;
         if (record.op == MemOp::kStore) {
           ++cursor.stores;
         } else {
@@ -261,6 +287,8 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
     for (const CompletedAccess& done : path.drain(now)) {
       result.makespan = std::max(result.makespan, done.completed);
       ++result.completions;
+      MAC3D_OBS_STAMP(options.sink, Stage::kCoreComplete, done.target.tid,
+                      done.target.tag, done.completed);
       const std::uint32_t t = done.target.tid;
       if (t >= threads) continue;  // foreign node traffic (not used here)
       ThreadCursor& cursor = cursors[t];
@@ -277,6 +305,9 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
       }
       cursor.ready_at = std::max(cursor.ready_at, ready);
     }
+#if MAC3D_OBS_ENABLED
+    if (options.sampler != nullptr) options.sampler->advance_to(now);
+#endif
 
     // Advance time: immediately if another request can go now, else to the
     // earliest of (path event, thread ready time).
@@ -353,8 +384,7 @@ LoopResult dispatch(Path& path, const MemoryTrace& trace,
                     const SimConfig& config, std::uint32_t threads,
                     const DriveOptions& options) {
   return options.mode == FeedMode::kStreaming
-             ? run_streaming(path, trace, config, threads,
-                             options.charge_gaps)
+             ? run_streaming(path, trace, config, threads, options)
              : run_closed_loop(path, trace, config, threads, options);
 }
 
@@ -401,6 +431,66 @@ class CheckWindow {
   bool closed_ = false;
 };
 
+/// Scopes one run's slice of a (possibly shared) CycleSampler: opens the
+/// sampling window, and guarantees the probes — which capture the run's
+/// path and device by reference — are dropped before those objects die,
+/// including on exception unwind (declare after the device and the path).
+class SamplerWindow {
+ public:
+  SamplerWindow(CycleSampler* sampler, const char* path_name)
+      : sampler_(sampler) {
+    if (sampler_ != nullptr) sampler_->begin_run(path_name);
+  }
+
+  SamplerWindow(const SamplerWindow&) = delete;
+  SamplerWindow& operator=(const SamplerWindow&) = delete;
+
+  ~SamplerWindow() {
+    if (sampler_ != nullptr && !closed_) sampler_->abort_run();
+  }
+
+  /// Normal completion: flush the tail windows up to the makespan.
+  void close(Cycle makespan) {
+    closed_ = true;
+    if (sampler_ != nullptr) sampler_->end_run(makespan);
+  }
+
+ private:
+  CycleSampler* sampler_;
+  bool closed_ = false;
+};
+
+#if MAC3D_OBS_ENABLED
+/// Device-side probes shared by every path (registered after the path's
+/// own probes so the CSV column set is uniform: queue_occupancy,
+/// issue_backlog, then the device series).
+void register_device_probes(CycleSampler& sampler, const HmcDevice& device) {
+  sampler.add_probe("device_in_flight", [&device](Cycle) {
+    return static_cast<double>(device.in_flight());
+  });
+  sampler.add_probe("banks_busy", [&device](Cycle cycle) {
+    return device.banks_busy_fraction(cycle);
+  });
+  for (std::uint32_t v = 0; v < device.vault_count(); ++v) {
+    sampler.add_probe("vault" + std::to_string(v) + "_busy",
+                      [&device, v](Cycle cycle) {
+                        return device.vault_busy_fraction(v, cycle);
+                      });
+  }
+  for (std::uint32_t l = 0; l < device.link_count(); ++l) {
+    sampler.add_probe("link" + std::to_string(l) + "_backlog",
+                      [&device, l](Cycle cycle) {
+                        return static_cast<double>(
+                            device.link_request_backlog(l, cycle));
+                      });
+    sampler.add_probe("link" + std::to_string(l) + "_flits",
+                      [&device, l](Cycle) {
+                        return static_cast<double>(device.link_flits_sent(l));
+                      });
+  }
+}
+#endif  // MAC3D_OBS_ENABLED
+
 }  // namespace
 
 DriverResult run_mac(const MemoryTrace& trace, const SimConfig& config,
@@ -412,8 +502,32 @@ DriverResult run_mac(const MemoryTrace& trace, const SimConfig& config,
     device.attach_checks(options.checks);
     mac.attach_checks(options.checks);
   }
+#if MAC3D_OBS_ENABLED
+  if (options.sink != nullptr) {
+    mac.attach_sink(options.sink);
+    device.attach_sink(options.sink);
+  }
+#endif
+#if MAC3D_OBS_ENABLED
+  CycleSampler* const sampler = options.sampler;
+#else
+  CycleSampler* const sampler = nullptr;
+#endif
+  SamplerWindow swindow(sampler, "mac");
+#if MAC3D_OBS_ENABLED
+  if (sampler != nullptr) {
+    sampler->add_probe("queue_occupancy", [&mac](Cycle) {
+      return static_cast<double>(mac.arq().size());
+    });
+    sampler->add_probe("issue_backlog", [&mac](Cycle) {
+      return static_cast<double>(mac.issue_backlog());
+    });
+    register_device_probes(*sampler, device);
+  }
+#endif
   const LoopResult loop = dispatch(mac, trace, config, threads, options);
   DriverResult result = finish(mac, device, loop, "mac");
+  swindow.close(loop.makespan);
   window.close(result);
   result.raw_requests = mac.stats().raw_in;
   result.avg_latency_cycles = mac.stats().raw_latency_cycles.mean();
@@ -432,8 +546,30 @@ DriverResult run_raw(const MemoryTrace& trace, const SimConfig& config,
     device.attach_checks(options.checks);
     raw.attach_checks(options.checks);
   }
+#if MAC3D_OBS_ENABLED
+  if (options.sink != nullptr) {
+    raw.attach_sink(options.sink);
+    device.attach_sink(options.sink);
+  }
+#endif
+#if MAC3D_OBS_ENABLED
+  CycleSampler* const sampler = options.sampler;
+#else
+  CycleSampler* const sampler = nullptr;
+#endif
+  SamplerWindow swindow(sampler, "raw");
+#if MAC3D_OBS_ENABLED
+  if (sampler != nullptr) {
+    sampler->add_probe("queue_occupancy", [&raw](Cycle) {
+      return static_cast<double>(raw.queue_depth());
+    });
+    sampler->add_probe("issue_backlog", [](Cycle) { return 0.0; });
+    register_device_probes(*sampler, device);
+  }
+#endif
   const LoopResult loop = dispatch(raw, trace, config, threads, options);
   DriverResult result = finish(raw, device, loop, "raw");
+  swindow.close(loop.makespan);
   window.close(result);
   result.raw_requests = raw.raw_in();
   result.avg_latency_cycles = raw.latency().mean();
@@ -451,8 +587,32 @@ DriverResult run_mshr(const MemoryTrace& trace, const SimConfig& config,
     device.attach_checks(options.checks);
     mshr.attach_checks(options.checks);
   }
+#if MAC3D_OBS_ENABLED
+  if (options.sink != nullptr) {
+    mshr.attach_sink(options.sink);
+    device.attach_sink(options.sink);
+  }
+#endif
+#if MAC3D_OBS_ENABLED
+  CycleSampler* const sampler = options.sampler;
+#else
+  CycleSampler* const sampler = nullptr;
+#endif
+  SamplerWindow swindow(sampler, "mshr");
+#if MAC3D_OBS_ENABLED
+  if (sampler != nullptr) {
+    sampler->add_probe("queue_occupancy", [&mshr](Cycle) {
+      return static_cast<double>(mshr.occupancy());
+    });
+    sampler->add_probe("issue_backlog", [&mshr](Cycle) {
+      return static_cast<double>(mshr.dispatch_backlog());
+    });
+    register_device_probes(*sampler, device);
+  }
+#endif
   const LoopResult loop = dispatch(mshr, trace, config, threads, options);
   DriverResult result = finish(mshr, device, loop, "mshr");
+  swindow.close(loop.makespan);
   window.close(result);
   result.raw_requests = mshr.stats().raw_in;
   result.avg_latency_cycles = mshr.stats().raw_latency_cycles.mean();

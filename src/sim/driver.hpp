@@ -20,6 +20,8 @@
 namespace mac3d {
 
 class CheckContext;
+class CycleSampler;
+class EventSink;
 
 /// How the trace is fed into the memory path.
 enum class FeedMode {
@@ -57,6 +59,17 @@ struct DriveOptions {
   /// shared across runs; counters accumulate. In FailMode::kThrow the
   /// first breach raises InvariantViolation out of the run_* call.
   CheckContext* checks = nullptr;
+  /// Request-lifecycle telemetry (docs/OBSERVABILITY.md): when non-null,
+  /// the driver attaches the sink to the path and stamps core_issue (at a
+  /// record's first presentation attempt) and core_complete (at delivery)
+  /// itself. Ignored when the build disables MAC3D_OBS.
+  EventSink* sink = nullptr;
+  /// Periodic occupancy/utilization sampling: when non-null, the driver
+  /// registers the path's probe set, samples every window boundary during
+  /// the run and flushes the tail at the makespan. The sampler may be
+  /// shared across runs (rows are labeled with the path name). Ignored
+  /// when the build disables MAC3D_OBS.
+  CycleSampler* sampler = nullptr;
 };
 
 struct DriverResult {

@@ -20,6 +20,7 @@
 #include "common/types.hpp"
 #include "mac/coalescer.hpp"  // CompletedAccess
 #include "mem/hmc_device.hpp"
+#include "obs/obs.hpp"
 
 namespace mac3d {
 
@@ -45,6 +46,7 @@ class RawPath {
     queue_.push_back(request);
     accept_cycle_[key(request)] = now;
     raw_in_ += request.op != MemOp::kFence ? 1 : 0;
+    MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag, now);
 #if MAC3D_CHECKS_ENABLED
     if (conservation_ != nullptr) {
       conservation_->on_accept(request.tid, request.tag, request.op, now);
@@ -108,6 +110,14 @@ class RawPath {
         out.push_back(done);
       }
     }
+#if MAC3D_OBS_ENABLED
+    if (sink_ != nullptr) {
+      for (const CompletedAccess& done : out) {
+        sink_->on_stage(Stage::kResponseMatch, done.target.tid,
+                        done.target.tag, done.completed);
+      }
+    }
+#endif
 #if MAC3D_CHECKS_ENABLED
     if (conservation_ != nullptr) {
       for (const CompletedAccess& done : out) {
@@ -135,6 +145,12 @@ class RawPath {
   [[nodiscard]] std::uint64_t packets_out() const noexcept {
     return packets_out_;
   }
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t outstanding() const noexcept {
+    return outstanding_;
+  }
   [[nodiscard]] const RunningStat& latency() const noexcept {
     return latency_;
   }
@@ -151,6 +167,11 @@ class RawPath {
       if (conservation_ != nullptr) conservation_->finalize(last_cycle_);
     });
   }
+
+  /// Enable request-lifecycle telemetry (docs/OBSERVABILITY.md): stamps
+  /// queue_insert at intake and response_match at drain. The sink must
+  /// outlive the path; pass nullptr to detach.
+  void attach_sink(EventSink* sink) noexcept { sink_ = sink; }
 
  private:
   static std::uint32_t key(const RawRequest& request) noexcept {
@@ -182,6 +203,7 @@ class RawPath {
   Cycle last_cycle_ = 0;
   RunningStat latency_;
   std::unique_ptr<ConservationChecker> conservation_;
+  EventSink* sink_ = nullptr;
 };
 
 }  // namespace mac3d

@@ -2,6 +2,7 @@
 // configuration).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <string>
 
@@ -201,6 +202,68 @@ TEST(Histogram, BucketsByMagnitude) {
   EXPECT_EQ(hist.buckets()[10], 1u);  // 512..1023
 }
 
+TEST(Histogram, MergeCombinesCountsAndExtremes) {
+  Histogram a;
+  Histogram b;
+  a.add(4);
+  a.add(9);
+  b.add(1);
+  b.add(100);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min_value(), 1u);
+  EXPECT_EQ(a.max_value(), 100u);
+  EXPECT_EQ(a.quantile(0.0), 1u);
+  EXPECT_EQ(a.quantile(1.0), 100u);
+}
+
+TEST(Histogram, MergeIntoEmptyCopiesAndMergingEmptyIsANoOp) {
+  Histogram a;
+  Histogram b;
+  Histogram empty;
+  b.add(7);
+  a.merge(b);  // empty.merge(non-empty) adopts the extremes
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min_value(), 7u);
+  EXPECT_EQ(a.max_value(), 7u);
+  a.merge(empty);  // non-empty.merge(empty) changes nothing
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min_value(), 7u);
+  EXPECT_EQ(a.max_value(), 7u);
+}
+
+TEST(Histogram, MergeFromWiderHistogramSaturatesTheLastBucket) {
+  Histogram narrow(4);  // last bucket saturates at values >= 4
+  Histogram wide(32);
+  wide.add(1000);  // bucket 10 in the wide histogram
+  narrow.merge(wide);
+  EXPECT_EQ(narrow.count(), 1u);
+  EXPECT_EQ(narrow.buckets().back(), 1u);  // folded where add() would land
+  EXPECT_EQ(narrow.quantile(0.5), 1000u);  // edge clamped into [min, max]
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+
+  Histogram one;  // a single sample answers every quantile exactly
+  one.add(42);
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(one.quantile(q), 42u) << q;
+  }
+
+  Histogram hist;
+  hist.add(2);
+  hist.add(2);
+  hist.add(2);
+  hist.add(1'000'000);
+  // Tiny q resolves to the first sample's bucket edge, never bucket 0
+  // (the regression the rank-based formulation fixed).
+  EXPECT_EQ(hist.quantile(0.01), 3u);  // bucket [2,3] upper edge
+  EXPECT_EQ(hist.quantile(0.5), 3u);
+  EXPECT_EQ(hist.quantile(1.0), 1'000'000u);
+}
+
 TEST(StatSet, SetGetAdd) {
   StatSet stats;
   stats.set("a", 1.0);
@@ -216,6 +279,26 @@ TEST(StatSet, RendersCsv) {
   stats.set("x", 2.0);
   EXPECT_NE(stats.to_csv().find("x,2"), std::string::npos);
   EXPECT_NE(stats.to_string().find("x"), std::string::npos);
+}
+
+TEST(StatSet, JsonRoundTripsEveryValue) {
+  StatSet stats;
+  stats.set("alpha", 1.5);
+  stats.set("big", 1234567890.0);
+  stats.set("neg", -0.25);
+  stats.set("zero", 0.0);
+  const std::string json = stats.to_json();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key : {"alpha", "big", "neg", "zero"}) {
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t at = json.find(needle);
+    ASSERT_NE(at, std::string::npos) << key << " in " << json;
+    const double parsed =
+        std::strtod(json.c_str() + at + needle.size(), nullptr);
+    EXPECT_DOUBLE_EQ(parsed, stats.get(key)) << key;
+  }
 }
 
 // ----------------------------------------------------------------- config

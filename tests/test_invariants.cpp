@@ -10,6 +10,8 @@
 
 #include <string>
 
+#include "cache/cache.hpp"
+#include "cache/mshr.hpp"
 #include "check/check.hpp"
 #include "check/conservation.hpp"
 #include "check/invariants.hpp"
@@ -230,6 +232,72 @@ TEST_F(CheckedMac, CleanPipelineSatisfiesThrowMode) {
   EXPECT_NO_THROW(settle(now));
   EXPECT_NO_THROW(context.finalize());
   EXPECT_EQ(context.violations(), 0u);
+}
+
+// ------------------------------------------------ cache hierarchy checks
+
+TEST(CacheInvariants, RandomAccessStreamSatisfiesLruStackProperty) {
+  CheckContext context;
+  CacheHierarchy caches({
+      CacheConfig{"L1", 1024, 64, 4, true},
+      CacheConfig{"L2", 4096, 64, 4, true},
+  });
+  caches.attach_checks(&context);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    caches.access(rng.below(256) * 64, rng.below(2) == 0);
+  }
+  EXPECT_GT(context.checks_run(), 0u);
+  EXPECT_EQ(context.violations(), 0u) << context.report();
+}
+
+TEST(CacheInvariants, InjectedLruCorruptionFiresTheStackProperty) {
+  CheckContext context;
+  Cache cache(CacheConfig{"L1", 1024, 64, 4, true});  // 4 sets
+  cache.attach_checks(&context);
+  // Warm set 0 with two lines so a zeroed recency stamp cannot be the
+  // set's strict maximum (set stride = 4 sets x 64 B = 256 B).
+  cache.access(0x000, false);
+  cache.access(0x100, false);
+  EXPECT_EQ(context.violations(), 0u) << context.report();
+  cache.inject_lru_corruption(1);
+  cache.access(0x200, false);  // fills set 0 with stamp 0: not the MRU
+  EXPECT_GT(context.violations(inv::kCacheLruStack.id), 0u)
+      << context.report();
+}
+
+TEST(CacheInvariants, DuplicateRecencyStampsViolateTheStackProperty) {
+  CheckContext context;
+  Cache cache(CacheConfig{"L1", 1024, 64, 4, true});
+  cache.attach_checks(&context);
+  // Two corrupted fills in an otherwise-empty set both record stamp 0:
+  // the second access finds a duplicate stamp (and is not the strict MRU).
+  cache.inject_lru_corruption(2);
+  cache.access(0x000, false);
+  cache.access(0x100, false);
+  EXPECT_GT(context.violations(inv::kCacheLruStack.id), 0u)
+      << context.report();
+}
+
+TEST(CacheInvariants, InjectedCapacityOverrunFiresTheOccupancyBound) {
+  SimConfig config;
+  HmcDevice device(config);
+  MshrCoalescer mshr(config, device, /*entries=*/2, /*block_bytes=*/64);
+  CheckContext context;
+  mshr.attach_checks(&context);
+  mshr.inject_capacity_overrun(4);
+  Cycle now = 0;
+  for (std::uint32_t i = 0; i < 6; ++i) {  // distinct blocks: all allocate
+    RawRequest request;
+    request.addr = static_cast<Address>(i) * 0x1000;
+    request.op = MemOp::kLoad;
+    request.tid = static_cast<ThreadId>(i);
+    request.tag = 1;
+    (void)mshr.try_accept(request, now);
+    ++now;  // the allocation port admits one entry per cycle
+  }
+  EXPECT_GT(context.violations(inv::kMshrOccupancy.id), 0u)
+      << context.report();
 }
 
 // ------------------------------------------------- targeted regressions

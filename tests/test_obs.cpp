@@ -1,0 +1,379 @@
+// Request-lifecycle telemetry (src/obs/, docs/OBSERVABILITY.md):
+//  * every path x feed mode runs with a zero-error lifecycle audit and the
+//    kept records carry monotonic, complete stamp sequences;
+//  * attaching a sink does not perturb the simulation (identical results);
+//  * the cycle sampler emits exactly ceil(makespan / period) rows per run
+//    with a stable column set and well-formed CSV;
+//  * the Chrome trace-event stream parses, every (pid, tid) track has
+//    balanced B/E nesting and flow s/f events pair up;
+//  * RunReport renders the stable schema with config and per-path stats.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/lifecycle.hpp"
+#include "obs/obs.hpp"
+#include "obs/run_report.hpp"
+#include "obs/sampler.hpp"
+#include "sim/driver.hpp"
+#include "trace/trace.hpp"
+
+namespace mac3d {
+namespace {
+
+/// Mixed random stream (loads/stores/atomics, compute gaps, fences) over a
+/// small row range so every lifecycle shape appears, merges included.
+MemoryTrace random_trace(std::uint64_t seed, std::uint32_t threads,
+                         std::uint32_t records_per_thread) {
+  MemoryTrace trace(threads);
+  Xoshiro256 rng(seed);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const auto tid = static_cast<ThreadId>(t);
+    for (std::uint32_t i = 0; i < records_per_thread; ++i) {
+      if (rng.below(32) == 0) {
+        trace.fence(tid);
+        continue;
+      }
+      if (rng.below(4) == 0) trace.instr(tid, rng.below(6));
+      const Address addr = rng.below(256) * 256 + rng.below(16) * 16;
+      switch (rng.below(8)) {
+        case 0: trace.store(tid, addr); break;
+        case 1: trace.atomic(tid, addr); break;
+        default: trace.load(tid, addr); break;
+      }
+    }
+    trace.fence(tid);
+  }
+  return trace;
+}
+
+DriverResult run_path(const std::string& path, const MemoryTrace& trace,
+                      const SimConfig& config, const DriveOptions& options) {
+  if (path == "mac") return run_mac(trace, config, 4, options);
+  if (path == "raw") return run_raw(trace, config, 4, options);
+  return run_mshr(trace, config, 4, 32, 64, options);
+}
+
+#if MAC3D_OBS_ENABLED
+
+TEST(Lifecycle, EveryPathAndFeedModeAuditsCleanWithCompleteRecords) {
+  const MemoryTrace trace = random_trace(21, 4, 300);
+  SimConfig config;
+  for (const std::string path : {"mac", "raw", "mshr"}) {
+    for (const FeedMode mode : {FeedMode::kStreaming, FeedMode::kClosedLoop}) {
+      LifecycleTracer tracer;
+      tracer.keep_records(true);
+      const std::string window =
+          path + (mode == FeedMode::kStreaming ? "-str" : "-cl");
+      tracer.begin_path(window);
+      DriveOptions options;
+      options.mode = mode;
+      options.sink = &tracer;
+      const DriverResult result = run_path(path, trace, config, options);
+      tracer.finish();
+
+      EXPECT_EQ(tracer.monotonicity_errors(), 0u) << window;
+      EXPECT_EQ(tracer.completeness_errors(), 0u) << window;
+      EXPECT_EQ(tracer.abandoned_records(), 0u) << window;
+      EXPECT_EQ(tracer.open_records(), 0u) << window;
+
+      const LifecycleTracer::PathTelemetry* telemetry = tracer.path(window);
+      ASSERT_NE(telemetry, nullptr) << window;
+      EXPECT_EQ(telemetry->completed, result.completions) << window;
+      EXPECT_EQ(telemetry->records.size(), result.completions) << window;
+      EXPECT_EQ(telemetry->request_latency.count(), result.completions)
+          << window;
+
+      // Re-audit the kept records independently of the tracer's counters.
+      for (const LifecycleTracer::Record& record : telemetry->records) {
+        ASSERT_GE(record.stamps.size(), 4u) << window;
+        EXPECT_EQ(record.stamps.front().stage, Stage::kCoreIssue) << window;
+        EXPECT_EQ(record.stamps.back().stage, Stage::kCoreComplete) << window;
+        bool saw_insert = false;
+        bool saw_match = false;
+        for (std::size_t i = 0; i < record.stamps.size(); ++i) {
+          const LifecycleTracer::Stamp& stamp = record.stamps[i];
+          saw_insert |= stamp.stage == Stage::kQueueInsert;
+          saw_match |= stamp.stage == Stage::kResponseMatch;
+          if (i == 0) continue;
+          EXPECT_GE(stamp.cycle, record.stamps[i - 1].cycle) << window;
+          EXPECT_GT(static_cast<int>(stamp.stage),
+                    static_cast<int>(record.stamps[i - 1].stage))
+              << window << " stage order";
+        }
+        EXPECT_TRUE(saw_insert) << window;
+        EXPECT_TRUE(saw_match) << window;
+      }
+    }
+  }
+}
+
+TEST(Lifecycle, MacWindowRecordsMergesAndDeviceStages) {
+  const MemoryTrace trace = random_trace(5, 4, 400);
+  SimConfig config;
+  LifecycleTracer tracer;
+  tracer.begin_path("mac");
+  DriveOptions options;
+  options.sink = &tracer;
+  const DriverResult result = run_mac(trace, config, 4, options);
+  tracer.finish();
+  const LifecycleTracer::PathTelemetry* telemetry = tracer.path("mac");
+  ASSERT_NE(telemetry, nullptr);
+  // The ARQ merges on this row-local trace, and the device stamps both
+  // serialization and bank access for every target it receives.
+  EXPECT_GT(telemetry->merges, 0u);
+  EXPECT_GT(result.raw_requests - result.packets, 0u);
+  const auto idx = [](Stage s) { return static_cast<std::size_t>(s); };
+  EXPECT_GT(telemetry->stage_latency[idx(Stage::kBuilderPick)].count(), 0u);
+  EXPECT_GT(telemetry->stage_latency[idx(Stage::kFlitAlloc)].count(), 0u);
+  EXPECT_GT(telemetry->stage_latency[idx(Stage::kLinkSerialize)].count(), 0u);
+  EXPECT_GT(telemetry->stage_latency[idx(Stage::kBankAccess)].count(), 0u);
+}
+
+TEST(Lifecycle, AttachingASinkDoesNotPerturbTheSimulation) {
+  const MemoryTrace trace = random_trace(9, 4, 300);
+  SimConfig config;
+  for (const std::string path : {"mac", "raw", "mshr"}) {
+    const DriverResult bare = run_path(path, trace, config, {});
+    LifecycleTracer tracer;
+    tracer.begin_path(path);
+    DriveOptions options;
+    options.sink = &tracer;
+    const DriverResult traced = run_path(path, trace, config, options);
+    tracer.finish();
+    EXPECT_EQ(bare.makespan, traced.makespan) << path;
+    EXPECT_EQ(bare.packets, traced.packets) << path;
+    EXPECT_EQ(bare.completions, traced.completions) << path;
+    EXPECT_EQ(bare.data_bytes, traced.data_bytes) << path;
+    EXPECT_EQ(bare.link_bytes, traced.link_bytes) << path;
+    EXPECT_DOUBLE_EQ(bare.avg_latency_cycles, traced.avg_latency_cycles)
+        << path;
+  }
+}
+
+TEST(Sampler, EmitsCeilMakespanOverPeriodRowsPerRun) {
+  const MemoryTrace trace = random_trace(3, 4, 300);
+  SimConfig config;
+  CycleSampler sampler(64);
+  std::map<std::string, Cycle> makespans;
+  for (const std::string path : {"mac", "raw", "mshr"}) {
+    DriveOptions options;
+    options.sampler = &sampler;
+    makespans[path] = run_path(path, trace, config, options).makespan;
+  }
+  std::size_t total = 0;
+  for (const auto& [path, makespan] : makespans) {
+    const std::size_t expect = (makespan + 63) / 64;  // ceil
+    EXPECT_EQ(sampler.rows_for(path), expect) << path;
+    total += expect;
+  }
+  EXPECT_EQ(sampler.row_count(), total);
+
+  // CSV: header + one line per row, every line with the same field count.
+  const std::string csv = sampler.to_csv();
+  std::istringstream lines(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("path,cycle,", 0), 0u) << line;
+  const auto fields = [](const std::string& s) {
+    return static_cast<std::size_t>(std::count(s.begin(), s.end(), ',')) + 1;
+  };
+  const std::size_t width = fields(line);
+  EXPECT_EQ(width, sampler.columns().size() + 2);
+  std::size_t data_lines = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(fields(line), width) << line;
+    ++data_lines;
+  }
+  EXPECT_EQ(data_lines, total);
+}
+
+/// Minimal line-oriented scan of the tracer's Chrome JSON (one event per
+/// line): extracts ph / pid / tid and checks track nesting and flow pairing.
+struct TraceScan {
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::int64_t> depth;
+  std::uint64_t begins = 0, ends = 0, flows_out = 0, flows_in = 0;
+  std::uint64_t events = 0;
+  bool well_formed = true;
+
+  static bool field(const std::string& line, const char* key,
+                    std::uint64_t& out) {
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) return false;
+    out = std::strtoull(line.c_str() + at + needle.size(), nullptr, 10);
+    return true;
+  }
+
+  void feed(const std::string& line) {
+    const std::size_t at = line.find("\"ph\":\"");
+    if (at == std::string::npos) return;
+    ++events;
+    const char ph = line[at + 6];
+    std::uint64_t pid = 0, tid = 0;
+    if (!field(line, "pid", pid)) well_formed = false;
+    field(line, "tid", tid);
+    switch (ph) {
+      case 'B': ++begins; ++depth[{pid, tid}]; break;
+      case 'E': ++ends; --depth[{pid, tid}]; break;
+      case 's': ++flows_out; break;
+      case 'f': ++flows_in; break;
+      case 'M': case 'i': break;
+      default: well_formed = false; break;
+    }
+  }
+};
+
+TEST(Tracer, ChromeTraceStreamBalancesEveryTrackAndPairsFlows) {
+  const std::string file = ::testing::TempDir() + "mac3d_obs_trace.json";
+  const MemoryTrace trace = random_trace(13, 4, 300);
+  SimConfig config;
+  LifecycleTracer tracer;
+  ASSERT_TRUE(tracer.open_trace(file));
+  for (const std::string path : {"raw", "mac"}) {
+    tracer.begin_path(path);
+    DriveOptions options;
+    options.sink = &tracer;
+    (void)run_path(path, trace, config, options);
+  }
+  tracer.finish();
+  EXPECT_GT(tracer.trace_events_written(), 0u);
+
+  std::ifstream in(file);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind("{\"displayTimeUnit\"", 0), 0u);
+  TraceScan scan;
+  std::string last;
+  while (std::getline(in, line)) {
+    scan.feed(line);
+    if (!line.empty()) last = line;
+  }
+  EXPECT_EQ(last, "]}");
+  EXPECT_TRUE(scan.well_formed);
+  EXPECT_EQ(scan.begins, scan.ends);
+  EXPECT_GT(scan.begins, 0u);
+  for (const auto& [track, depth] : scan.depth) {
+    EXPECT_EQ(depth, 0) << "pid " << track.first << " tid " << track.second;
+  }
+  EXPECT_EQ(scan.flows_out, scan.flows_in);  // every merge s has its f
+  std::remove(file.c_str());
+}
+
+TEST(Tracer, WindowCloseCountsUnfinishedRequestsAsAbandoned) {
+  LifecycleTracer tracer;
+  tracer.begin_path("a");
+  tracer.on_stage(Stage::kCoreIssue, 0, 1, 0);
+  tracer.on_stage(Stage::kQueueInsert, 0, 1, 1);
+  tracer.begin_path("b");  // request (0, 1) never completed
+  tracer.finish();
+  EXPECT_EQ(tracer.abandoned_records(), 1u);
+  EXPECT_EQ(tracer.completed_records(), 0u);
+}
+
+TEST(Tracer, AuditFlagsBackwardCycleAndStageOrder)
+{
+  LifecycleTracer tracer;
+  tracer.begin_path("bad");
+  tracer.on_stage(Stage::kCoreIssue, 0, 1, 10);
+  tracer.on_stage(Stage::kQueueInsert, 0, 1, 5);  // cycle ran backwards
+  tracer.on_stage(Stage::kResponseMatch, 0, 1, 12);
+  tracer.on_stage(Stage::kCoreComplete, 0, 1, 13);
+  tracer.on_stage(Stage::kQueueInsert, 0, 2, 0);  // skips the entry stamp...
+  tracer.on_stage(Stage::kCoreComplete, 0, 2, 1);  // ...and response_match
+  tracer.finish();
+  EXPECT_GT(tracer.monotonicity_errors(), 0u);
+  EXPECT_GT(tracer.completeness_errors(), 0u);
+}
+
+#else  // MAC3D_OBS_ENABLED
+
+TEST(Lifecycle, DisabledBuildCompilesStampsToNothing) {
+  // The macros must expand to no-ops without evaluating the sink.
+  LifecycleTracer* sink = nullptr;
+  MAC3D_OBS_STAMP(sink, Stage::kCoreIssue, 0, 0, 0);
+  MAC3D_OBS_MERGE(sink, 0, 0, 0, 0, 0);
+  SUCCEED();
+}
+
+#endif  // MAC3D_OBS_ENABLED
+
+TEST(RunReportJson, RendersSchemaConfigAndPerPathSections) {
+  RunReport report;
+  report.set_string("workload", "sg");
+  report.set_number("threads", 4);
+  report.set_bool("checks", true);
+  SimConfig config;
+  report.set_config(config);
+  StatSet stats;
+  stats.set("mac.packets", 128);
+  report.set_path_stats("mac", stats);
+  Histogram latency;
+  for (std::uint64_t v : {3, 5, 9, 17, 900}) latency.add(v);
+  report.set_path_request_latency("mac", latency);
+  report.add_path_stage("mac", "bank_access", latency);
+
+  const std::string json = report.to_json();
+  EXPECT_EQ(json.rfind("{\n  \"schema\": \"mac3d-run-report/1\"", 0), 0u)
+      << json;
+  EXPECT_NE(json.find("\"workload\": \"sg\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"checks\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"config\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"row_bytes\":256"), std::string::npos);
+  EXPECT_NE(json.find("\"paths\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"mac\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"mac.packets\":128"), std::string::npos);
+  EXPECT_NE(json.find("\"request_latency\": {\"count\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"bank_access\": {\"count\":5"), std::string::npos);
+  // Quantiles: min/max exact, p50 resolves within [min, max].
+  EXPECT_NE(json.find("\"min\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":900"), std::string::npos);
+  // Balanced braces/brackets => structurally sound JSON.
+  std::int64_t braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(RunReportJson, WriteProducesTheSameBytesAsToJson) {
+  const std::string file = ::testing::TempDir() + "mac3d_obs_report.json";
+  RunReport report;
+  report.set_string("workload", "unit");
+  ASSERT_TRUE(report.write(file));
+  std::ifstream in(file);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), report.to_json());
+  std::remove(file.c_str());
+}
+
+TEST(StageNames, CoverAllTenStagesInPipelineOrder) {
+  ASSERT_EQ(kStageCount, 10u);
+  const char* expected[] = {"core_issue",     "router_enqueue",
+                            "queue_insert",   "merge",
+                            "builder_pick",   "flit_alloc",
+                            "link_serialize", "bank_access",
+                            "response_match", "core_complete"};
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    EXPECT_EQ(to_string(static_cast<Stage>(i)), expected[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mac3d
