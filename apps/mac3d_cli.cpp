@@ -26,6 +26,7 @@
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
+#include "sim/parallel.hpp"
 #include "sim/report.hpp"
 #include "trace/trace_io.hpp"
 #include "workloads/workload.hpp"
@@ -46,6 +47,10 @@ struct CliOptions {
   bool csv = false;
   bool closed_loop = false;
   bool checks = false;
+  std::string engine = "serial";   ///< serial | parallel (per-run engine)
+  std::uint32_t engine_threads = 0;  ///< 0 = hardware concurrency
+  std::uint32_t jobs = 0;          ///< parallel paths/workloads (0 = env)
+  std::uint32_t tag_pool = 0;      ///< streaming tag pool (0 = full 64 K)
   std::string trace_events;    ///< Chrome trace-event JSON output
   std::uint64_t sample_every = 0;  ///< sampler period (0 = off)
   std::string sample_out;      ///< sampler CSV output
@@ -66,6 +71,14 @@ void usage() {
                "  --set key=value   config override (repeatable)\n"
                "  --closed-loop     execution-driven feed (default: "
                "streaming)\n"
+               "  --engine E        serial | parallel cycle engine "
+               "(docs/PARALLELISM.md)\n"
+               "  --engine-threads N  workers for --engine parallel "
+               "(0 = hardware)\n"
+               "  --jobs N          run paths (run) / workloads (suite) as "
+               "N parallel tasks\n"
+               "  --tag-pool N      streaming feeder: outstanding tags per "
+               "thread (0 = 64 K)\n"
                "  --checks          run model-invariant checks "
                "(docs/INVARIANTS.md)\n"
                "  --csv             machine-readable output\n"
@@ -120,6 +133,20 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       options.closed_loop = true;
     } else if (arg == "--checks") {
       options.checks = true;
+    } else if (arg == "--engine") {
+      options.engine = value();
+      if (options.engine != "serial" && options.engine != "parallel") {
+        std::fprintf(stderr, "unknown engine '%s' (serial|parallel)\n",
+                     options.engine.c_str());
+        return std::nullopt;
+      }
+    } else if (arg == "--engine-threads") {
+      options.engine_threads =
+          static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--jobs") {
+      options.jobs = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--tag-pool") {
+      options.tag_pool = static_cast<std::uint32_t>(std::atoi(value()));
     } else if (arg == "--trace-events") {
       options.trace_events = value();
     } else if (arg == "--sample-every") {
@@ -174,6 +201,10 @@ int cmd_run(const CliOptions& options) {
   DriveOptions drive;
   drive.mode = options.closed_loop ? FeedMode::kClosedLoop
                                    : FeedMode::kStreaming;
+  drive.engine = options.engine == "parallel" ? Engine::kParallel
+                                              : Engine::kSerial;
+  drive.engine_threads = options.engine_threads;
+  drive.tag_pool = options.tag_pool;
   CheckContext checks(CheckContext::FailMode::kCount);
   if (options.checks) {
 #if !MAC3D_CHECKS_ENABLED
@@ -208,18 +239,36 @@ int cmd_run(const CliOptions& options) {
   if (want_tracer) drive.sink = &tracer;
   if (want_sampler) drive.sampler = &sampler;
 
-  std::vector<DriverResult> results;
   for (const std::string& path : options.paths) {
-    if (want_tracer) tracer.begin_path(path);
-    if (path == "raw") {
-      results.push_back(run_raw(trace, config, threads, drive));
-    } else if (path == "mac") {
-      results.push_back(run_mac(trace, config, threads, drive));
-    } else if (path == "mshr") {
-      results.push_back(run_mshr(trace, config, threads, 32, 64, drive));
-    } else {
+    if (path != "raw" && path != "mac" && path != "mshr") {
       std::fprintf(stderr, "unknown path '%s'\n", path.c_str());
       return 2;
+    }
+  }
+  std::vector<DriverResult> results(options.paths.size());
+  const auto run_path = [&](std::size_t index) {
+    const std::string& path = options.paths[index];
+    if (path == "raw") {
+      results[index] = run_raw(trace, config, threads, drive);
+    } else if (path == "mac") {
+      results[index] = run_mac(trace, config, threads, drive);
+    } else {
+      results[index] = run_mshr(trace, config, threads, 32, 64, drive);
+    }
+  };
+  // Paths are independent runs over the same (immutable) trace, so --jobs
+  // shards them across a worker pool — unless shared telemetry/check
+  // state forces the one-at-a-time schedule (docs/PARALLELISM.md).
+  const std::uint32_t jobs =
+      options.jobs == 0 ? ParallelStepper::env_jobs(1) : options.jobs;
+  const bool hooks_attached = options.checks || want_tracer || want_sampler;
+  if (jobs > 1 && !hooks_attached && options.paths.size() > 1) {
+    ParallelStepper stepper(jobs);
+    stepper.for_shards(options.paths.size(), run_path);
+  } else {
+    for (std::size_t i = 0; i < options.paths.size(); ++i) {
+      if (want_tracer) tracer.begin_path(options.paths[i]);
+      run_path(i);
     }
   }
   tracer.finish();
@@ -328,6 +377,11 @@ int cmd_suite(const CliOptions& options) {
   suite.threads = options.threads == 0 ? suite.config.cores : options.threads;
   suite.scale = options.scale;
   suite.seed = options.seed;
+  suite.jobs = options.jobs == 0 ? env_jobs(1) : options.jobs;
+  suite.drive.engine = options.engine == "parallel" ? Engine::kParallel
+                                                    : Engine::kSerial;
+  suite.drive.engine_threads = options.engine_threads;
+  suite.drive.tag_pool = options.tag_pool;
   const auto runs = run_suite(suite);
   if (options.csv) {
     // Plain numbers (no thousands separators) to keep the CSV parseable.

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -90,15 +91,25 @@ inline std::string label(const std::string& name) {
 }
 
 /// Collect one efficiency series (all 12 workloads) at a thread count.
+/// Workload runs execute on `options.jobs` workers (MAC3D_JOBS via
+/// default_suite_options(); output is jobs-invariant, docs/PARALLELISM.md)
+/// and the suite wall clock is kept so binaries can report the speedup.
 struct SuiteSeries {
   std::vector<WorkloadRun> runs;
   double mean_coalescing = 0.0;
   double mean_bandwidth = 0.0;
+  double wall_seconds = 0.0;   ///< suite wall clock at options.jobs workers
+  std::uint32_t jobs = 1;      ///< worker count the series ran with
 };
 
 inline SuiteSeries run_series(const SuiteOptions& options) {
   SuiteSeries series;
+  series.jobs = options.jobs;
+  const auto start = std::chrono::steady_clock::now();
   series.runs = run_suite(options);
+  series.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   std::vector<double> coalescing;
   std::vector<double> bandwidth;
   for (const WorkloadRun& run : series.runs) {
@@ -108,6 +119,32 @@ inline SuiteSeries run_series(const SuiteOptions& options) {
   series.mean_coalescing = mean(coalescing);
   series.mean_bandwidth = mean(bandwidth);
   return series;
+}
+
+/// Wall-clock speedup of the jobs-parallel suite over the serial suite.
+/// Runs the suite twice (jobs = 1, then jobs = `jobs`; 0 = hardware
+/// concurrency), so it doubles the bench cost — intended for explicit
+/// speedup studies (EXPERIMENTS.md), not for every figure binary.
+struct SuiteSpeedup {
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  double speedup = 0.0;
+  std::uint32_t jobs = 0;
+};
+
+inline SuiteSpeedup measure_suite_speedup(SuiteOptions options,
+                                          std::uint32_t jobs = 0) {
+  SuiteSpeedup result;
+  options.jobs = 1;
+  result.serial_seconds = run_series(options).wall_seconds;
+  options.jobs = jobs;
+  const SuiteSeries parallel = run_series(options);
+  result.parallel_seconds = parallel.wall_seconds;
+  result.jobs = parallel.jobs;
+  result.speedup = result.parallel_seconds > 0.0
+                       ? result.serial_seconds / result.parallel_seconds
+                       : 0.0;
+  return result;
 }
 
 }  // namespace mac3d::bench

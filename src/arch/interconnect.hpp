@@ -2,12 +2,24 @@
 // carrying raw requests to remote nodes and completions back. The paper
 // leaves the fabric unspecified ("not within the scope of this paper"); we
 // model a constant per-hop latency with FIFO delivery per destination.
+//
+// The fabric is the only state shared between nodes, so it is the seam the
+// parallel engine stages (docs/PARALLELISM.md): in staged mode every send
+// lands in a per-source outbox (touched only by that node's shard), and
+// commit_staged() merges the outboxes into the delivery lanes in source-
+// node order at the barrier — exactly the order the serial engine pushes
+// in, so lane contents (and therefore every downstream result) are
+// bit-identical. Delivery stays safe during the concurrent phase because
+// node `n` only ever pops its own lanes.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
+#include "check/check.hpp"
+#include "check/invariants.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "mac/coalescer.hpp"
@@ -19,20 +31,40 @@ class Interconnect {
   Interconnect(const SimConfig& config, std::uint32_t nodes)
       : hop_cycles_(config.remote_hop_cycles),
         request_lanes_(nodes),
-        completion_lanes_(nodes) {}
+        completion_lanes_(nodes),
+        outboxes_(nodes) {}
 
-  void send_request(const RawRequest& request, NodeId dest, Cycle now) {
-    request_lanes_.at(dest).push_back({now + hop_cycles_, request});
+  /// `src` is the sending node — serial delivery order is node-tick order,
+  /// and the staged engine reproduces it by committing outboxes in source
+  /// order.
+  void send_request(const RawRequest& request, NodeId dest, Cycle now,
+                    NodeId src = 0) {
+    if (staged_) {
+      outboxes_.at(src).requests.push_back({dest, now + hop_cycles_, request});
+      return;
+    }
+    if (consume_drop_fault()) return;
+    request_lanes_.at(dest).queue.push_back({now + hop_cycles_, request});
     ++messages_;
+    ++sends_;
   }
 
   void send_completion(const CompletedAccess& completion, NodeId dest,
-                       Cycle now) {
-    completion_lanes_.at(dest).push_back({now + hop_cycles_, completion});
+                       Cycle now, NodeId src = 0) {
+    if (staged_) {
+      outboxes_.at(src).completions.push_back(
+          {dest, now + hop_cycles_, completion});
+      return;
+    }
+    if (consume_drop_fault()) return;
+    completion_lanes_.at(dest).queue.push_back(
+        {now + hop_cycles_, completion});
     ++messages_;
+    ++sends_;
   }
 
   /// Pop all requests due at or before `now` destined to `dest` (FIFO).
+  /// During the parallel phase only node `dest`'s shard may call this.
   std::vector<RawRequest> deliver_requests(NodeId dest, Cycle now) {
     return deliver(request_lanes_.at(dest), now);
   }
@@ -40,12 +72,45 @@ class Interconnect {
     return deliver(completion_lanes_.at(dest), now);
   }
 
+  // ---- Staged (parallel-engine) mode — docs/PARALLELISM.md ---------------
+  /// Enter staged mode: sends buffer into per-source outboxes. Requires a
+  /// hop latency of at least one cycle — with zero-hop delivery a serial
+  /// engine can deliver a message to a later-ticking node within the same
+  /// cycle, which no barrier schedule can reproduce.
+  void begin_staged() noexcept { staged_ = true; }
+  [[nodiscard]] bool staged() const noexcept { return staged_; }
+  void end_staged() noexcept { staged_ = false; }
+
+  /// Barrier commit: move every outbox entry into its delivery lane in
+  /// source-node order, preserving each outbox's push order (= that node's
+  /// serial send order). Runs on one thread at the barrier.
+  void commit_staged() {
+    for (Outbox& outbox : outboxes_) {
+      for (auto& message : outbox.requests) {
+        if (consume_drop_fault()) continue;
+        request_lanes_.at(message.dest).queue.push_back(
+            {message.due, std::move(message.payload)});
+        ++messages_;
+        ++sends_;
+      }
+      outbox.requests.clear();
+      for (auto& message : outbox.completions) {
+        if (consume_drop_fault()) continue;
+        completion_lanes_.at(message.dest).queue.push_back(
+            {message.due, std::move(message.payload)});
+        ++messages_;
+        ++sends_;
+      }
+      outbox.completions.clear();
+    }
+  }
+
   [[nodiscard]] bool idle() const noexcept {
     for (const auto& lane : request_lanes_) {
-      if (!lane.empty()) return false;
+      if (!lane.queue.empty()) return false;
     }
     for (const auto& lane : completion_lanes_) {
-      if (!lane.empty()) return false;
+      if (!lane.queue.empty()) return false;
     }
     return true;
   }
@@ -55,8 +120,9 @@ class Interconnect {
     Cycle next = 0;
     auto scan = [&next](const auto& lanes) {
       for (const auto& lane : lanes) {
-        if (!lane.empty() && (next == 0 || lane.front().due < next)) {
-          next = lane.front().due;
+        if (!lane.queue.empty() &&
+            (next == 0 || lane.queue.front().due < next)) {
+          next = lane.queue.front().due;
         }
       }
     };
@@ -67,6 +133,42 @@ class Interconnect {
 
   [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
   [[nodiscard]] Cycle hop_cycles() const noexcept { return hop_cycles_; }
+  [[nodiscard]] std::uint64_t sends() const noexcept { return sends_; }
+  [[nodiscard]] std::uint64_t deliveries() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& lane : request_lanes_) total += lane.delivered;
+    for (const auto& lane : completion_lanes_) total += lane.delivered;
+    return total;
+  }
+
+  /// Enable fabric checks (docs/INVARIANTS.md §fabric). Registers an
+  /// end-of-run credit audit: sends must balance deliveries and every lane
+  /// must have drained. The context must outlive the interconnect.
+  void attach_checks(CheckContext* context) {
+    checks_ = context;
+    if (context == nullptr) return;
+    context->on_finalize([this](CheckContext&) { check_drained(); });
+  }
+
+  /// Credit conservation (docs/INVARIANTS.md §fabric): a fixed-latency
+  /// fabric neither drops nor duplicates, so lifetime sends equal lifetime
+  /// deliveries once the lanes drain.
+  void check_drained() {
+    std::uint64_t queued = 0;
+    for (const auto& lane : request_lanes_) queued += lane.queue.size();
+    for (const auto& lane : completion_lanes_) queued += lane.queue.size();
+    const std::uint64_t delivered = deliveries();
+    MAC3D_CHECK(checks_, inv::kFabricCredit,
+                sends_ == delivered + queued && queued == 0, 0,
+                std::to_string(sends_) + " messages sent, " +
+                    std::to_string(delivered) + " delivered, " +
+                    std::to_string(queued) + " still in flight");
+  }
+
+  /// Deliberate model bug for the invariant test suite: silently drop the
+  /// next message handed to the fabric (one-shot), breaching credit
+  /// conservation.
+  void inject_drop_next_message() noexcept { drop_next_ = true; }
 
  private:
   template <typename T>
@@ -76,20 +178,54 @@ class Interconnect {
   };
 
   template <typename T>
-  static std::vector<T> deliver(std::deque<Message<T>>& lane, Cycle now) {
+  struct StagedMessage {
+    NodeId dest = 0;
+    Cycle due = 0;
+    T payload;
+  };
+
+  template <typename T>
+  struct Lane {
+    std::deque<Message<T>> queue;
+    std::uint64_t delivered = 0;  ///< lane-local: safe during the phase
+  };
+
+  struct Outbox {
+    std::vector<StagedMessage<RawRequest>> requests;
+    std::vector<StagedMessage<CompletedAccess>> completions;
+  };
+
+  template <typename T>
+  static std::vector<T> deliver(Lane<T>& lane, Cycle now) {
     std::vector<T> out;
     // Constant hop latency => lanes are ordered by due time.
-    while (!lane.empty() && lane.front().due <= now) {
-      out.push_back(std::move(lane.front().payload));
-      lane.pop_front();
+    while (!lane.queue.empty() && lane.queue.front().due <= now) {
+      out.push_back(std::move(lane.queue.front().payload));
+      lane.queue.pop_front();
     }
+    lane.delivered += out.size();
     return out;
+  }
+
+  /// One-shot drop fault; consumed at the point a message would enter a
+  /// lane (send in serial mode, commit in staged mode) so both engines
+  /// lose the same message.
+  [[nodiscard]] bool consume_drop_fault() noexcept {
+    if (!drop_next_) return false;
+    drop_next_ = false;
+    ++sends_;  // the sender spent the credit; the fabric lost the message
+    return true;
   }
 
   Cycle hop_cycles_;
   std::uint64_t messages_ = 0;
-  std::vector<std::deque<Message<RawRequest>>> request_lanes_;
-  std::vector<std::deque<Message<CompletedAccess>>> completion_lanes_;
+  std::uint64_t sends_ = 0;
+  std::vector<Lane<RawRequest>> request_lanes_;
+  std::vector<Lane<CompletedAccess>> completion_lanes_;
+  std::vector<Outbox> outboxes_;
+  bool staged_ = false;
+  bool drop_next_ = false;
+  CheckContext* checks_ = nullptr;
 };
 
 }  // namespace mac3d

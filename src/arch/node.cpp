@@ -67,7 +67,8 @@ void Node::tick(Cycle now, Interconnect* fabric) {
   if (fabric != nullptr && !router_->global_queue().empty()) {
     const RawRequest request = router_->global_queue().pop();
     fabric->send_request(request,
-                         device_->address_map().node_of(request.addr), now);
+                         device_->address_map().node_of(request.addr), now,
+                         id_);
   }
 
   // 4. MAC intake: one raw request per cycle.
@@ -88,7 +89,7 @@ void Node::dispatch_completion(const CompletedAccess& completion, Cycle now,
                                Interconnect* fabric) {
   const NodeId owner = thread_owner_->at(completion.target.tid);
   if (owner != id_ && fabric != nullptr) {
-    fabric->send_completion(completion, owner, now);
+    fabric->send_completion(completion, owner, now, id_);
     return;
   }
   assert(owner == id_ && "completion arrived at a foreign node");

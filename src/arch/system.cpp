@@ -1,6 +1,10 @@
 #include "arch/system.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "sim/parallel.hpp"
 
 namespace mac3d {
 
@@ -16,6 +20,12 @@ System::System(const SimConfig& config) : config_(config) {
 
 void System::attach_checks(CheckContext* context) {
   for (const auto& node : nodes_) node->attach_checks(context);
+  fabric_->attach_checks(context);
+}
+
+void System::attach_sink(EventSink* sink) {
+  sink_ = sink;
+  for (const auto& node : nodes_) node->attach_sink(sink);
 }
 
 void System::attach_trace(const MemoryTrace& trace) {
@@ -34,9 +44,9 @@ void System::attach_trace(const MemoryTrace& trace) {
 }
 
 SystemRunSummary System::run(Cycle max_cycles) {
-  SystemRunSummary summary;
   Interconnect* fabric = nodes_.size() > 1 ? fabric_.get() : nullptr;
 
+  bool completed = false;
   Cycle now = 0;
   for (; now < max_cycles; ++now) {
     for (auto& node : nodes_) node->tick(now, fabric);
@@ -51,13 +61,85 @@ SystemRunSummary System::run(Cycle max_cycles) {
       }
     }
     if (drained) {
-      summary.completed = true;
+      completed = true;
       ++now;
       break;
     }
   }
+  return summarize(now, completed);
+}
 
-  summary.cycles = now;
+SystemRunSummary System::run_parallel(std::uint32_t threads,
+                                      Cycle max_cycles) {
+  if (nodes_.size() > 1 && config_.remote_hop_cycles == 0) {
+    // A zero-hop fabric lets a serial engine deliver a message to a
+    // later-ticking node within the sending cycle — unreproducible under
+    // any barrier schedule, so refuse rather than silently diverge.
+    throw std::invalid_argument(
+        "System::run_parallel requires remote_hop_cycles >= 1 (got 0)");
+  }
+  Interconnect* fabric = nodes_.size() > 1 ? fabric_.get() : nullptr;
+  ParallelStepper stepper(threads);
+
+  // Per-node telemetry mailboxes: each shard stamps into its own buffer
+  // during the concurrent phase; the buffers flush to the user's sink in
+  // node order after the barrier — the serial engine's exact stamp stream.
+  std::vector<BufferedSink> buffers(sink_ != nullptr ? nodes_.size() : 0);
+  if (sink_ != nullptr) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i]->attach_sink(&buffers[i]);
+    }
+  }
+  if (fabric != nullptr) fabric->begin_staged();
+
+  bool completed = false;
+  Cycle now = 0;
+  try {
+    for (; now < max_cycles; ++now) {
+      stepper.for_shards(nodes_.size(), [this, now, fabric](std::size_t i) {
+        nodes_[i]->tick(now, fabric);
+      });
+      // Barrier: cross-shard effects apply in canonical order.
+      if (fabric != nullptr) fabric->commit_staged();
+      if (sink_ != nullptr) {
+        for (BufferedSink& buffer : buffers) buffer.flush(*sink_);
+      }
+
+      bool drained = fabric == nullptr || fabric->idle();
+      if (drained) {
+        for (const auto& node : nodes_) {
+          if (!node->drained()) {
+            drained = false;
+            break;
+          }
+        }
+      }
+      if (drained) {
+        completed = true;
+        ++now;
+        break;
+      }
+    }
+  } catch (...) {
+    // Re-point the nodes at the durable sink before the local buffers die
+    // (kThrow-mode breaches unwind through here).
+    if (sink_ != nullptr) {
+      for (const auto& node : nodes_) node->attach_sink(sink_);
+    }
+    if (fabric != nullptr) fabric->end_staged();
+    throw;
+  }
+  if (sink_ != nullptr) {
+    for (const auto& node : nodes_) node->attach_sink(sink_);
+  }
+  if (fabric != nullptr) fabric->end_staged();
+  return summarize(now, completed);
+}
+
+SystemRunSummary System::summarize(Cycle cycles, bool completed) const {
+  SystemRunSummary summary;
+  summary.cycles = cycles;
+  summary.completed = completed;
   RunningStat latency;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const Node& node = *nodes_[i];

@@ -37,23 +37,46 @@ class System {
   /// Run until every thread drains (or `max_cycles`).
   SystemRunSummary run(Cycle max_cycles = 2'000'000'000ULL);
 
+  /// Node-sharded parallel run (docs/PARALLELISM.md): all nodes advance
+  /// concurrently inside each cycle on a ParallelStepper worker pool; the
+  /// fabric runs staged (per-source outboxes committed in node order at
+  /// the barrier) and telemetry stamps flush through per-node
+  /// BufferedSinks in node order. Bit-identical to run() for any
+  /// `threads` (0 = hardware concurrency). Requires remote_hop_cycles
+  /// >= 1 in multi-node configs: a zero-hop fabric can deliver within
+  /// the sending cycle, which no barrier schedule reproduces.
+  SystemRunSummary run_parallel(std::uint32_t threads,
+                                Cycle max_cycles = 2'000'000'000ULL);
+
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();
   }
   [[nodiscard]] Interconnect& fabric() noexcept { return *fabric_; }
 
-  /// Enable model-invariant checking on every node (docs/INVARIANTS.md).
-  /// The context must outlive the system; run context.finalize() before
-  /// destroying the system. Pass nullptr to detach.
+  /// Enable model-invariant checking on every node and the fabric
+  /// (docs/INVARIANTS.md). The context must outlive the system; run
+  /// context.finalize() before destroying the system. Pass nullptr to
+  /// detach.
   void attach_checks(CheckContext* context);
 
+  /// Enable request-lifecycle telemetry on every node
+  /// (docs/OBSERVABILITY.md). The sink must outlive the system; pass
+  /// nullptr to detach. run_parallel() interposes per-node buffers and
+  /// flushes them to this sink in canonical node order each cycle, so the
+  /// sink itself needs no thread safety.
+  void attach_sink(EventSink* sink);
+
  private:
+  /// Shared end-of-run accounting (node order, both engines).
+  SystemRunSummary summarize(Cycle cycles, bool completed) const;
+
   SimConfig config_;
   std::vector<NodeId> thread_owner_;
   std::vector<CoreId> thread_core_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<Interconnect> fabric_;
+  EventSink* sink_ = nullptr;
 };
 
 }  // namespace mac3d

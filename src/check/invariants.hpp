@@ -153,4 +153,11 @@ inline constexpr Invariant kRouterConservation{
     "of the run and pushes balance pops",
     "Sec. 3.1", Severity::kError};
 
+inline constexpr Invariant kFabricCredit{
+    "fabric.credit_conservation",
+    "interconnect credits balance: every message sent is eventually "
+    "delivered (sends == deliveries) and all lanes drain by the end of "
+    "the run",
+    "Sec. 3", Severity::kError};
+
 }  // namespace mac3d::inv

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -75,6 +76,56 @@ class EventSink {
     (void)leader_tag;
     (void)cycle;
   }
+};
+
+/// Per-shard mailbox for the parallel engine (docs/PARALLELISM.md): each
+/// shard stamps into its own BufferedSink during the concurrent phase (no
+/// cross-thread access), and the engine flushes the buffers to the real
+/// sink *after* the barrier, one shard at a time in canonical shard order.
+/// Stage/merge interleaving within a shard is preserved verbatim, so
+/// downstream consumers (lifecycle tracer, event traces) see exactly the
+/// stamp stream the serial engine would have produced.
+class BufferedSink final : public EventSink {
+ public:
+  void on_stage(Stage stage, ThreadId tid, Tag tag, Cycle cycle) override {
+    events_.push_back({stage, false, tid, tag, 0, 0, cycle});
+  }
+
+  void on_merge(ThreadId tid, Tag tag, ThreadId leader_tid, Tag leader_tag,
+                Cycle cycle) override {
+    events_.push_back(
+        {Stage::kMerge, true, tid, tag, leader_tid, leader_tag, cycle});
+  }
+
+  /// Replay all buffered events into `downstream` in stamp order, then
+  /// clear the buffer. Callers serialize flushes across shards.
+  void flush(EventSink& downstream) {
+    for (const Event& event : events_) {
+      if (event.merge) {
+        downstream.on_merge(event.tid, event.tag, event.leader_tid,
+                            event.leader_tag, event.cycle);
+      } else {
+        downstream.on_stage(event.stage, event.tid, event.tag, event.cycle);
+      }
+    }
+    events_.clear();
+  }
+
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return events_.size();
+  }
+
+ private:
+  struct Event {
+    Stage stage;
+    bool merge;
+    ThreadId tid;
+    Tag tag;
+    ThreadId leader_tid;
+    Tag leader_tag;
+    Cycle cycle;
+  };
+  std::vector<Event> events_;
 };
 
 }  // namespace mac3d

@@ -4,13 +4,17 @@
 #include <limits>
 #include <vector>
 
+#include <memory>
+
 #include "cache/mshr.hpp"
 #include "check/check.hpp"
 #include "mac/coalescer.hpp"
 #include "mem/hmc_device.hpp"
 #include "obs/obs.hpp"
 #include "obs/sampler.hpp"
+#include "sim/parallel.hpp"
 #include "sim/raw_path.hpp"
+#include "sim/tag_allocator.hpp"
 
 namespace mac3d {
 
@@ -54,24 +58,26 @@ struct LoopResult {
 /// reissue a tag while its predecessor is still in flight, or response
 /// matching becomes ambiguous — and since completions are out of order
 /// (bank scheduling), one long-lived request can outlive 65 K newer ones,
-/// so the stall has to be per-tag, not a per-thread outstanding cap. The
-/// invariant fuzz suite caught exactly this on bank-conflict-heavy traces.
-template <typename Path>
+/// so each thread draws from a finite MSHR-style TagAllocator pool and
+/// stalls only on pool exhaustion (the invariant fuzz suite caught the
+/// ambiguity on bank-conflict-heavy traces back when tags were a bare
+/// wrapping cursor). `barrier` runs once per cycle right after the path
+/// ticks — the parallel engine commits its staged device work there; the
+/// serial engine passes a no-op.
+template <typename Path, typename Barrier>
 LoopResult run_streaming(Path& path, const MemoryTrace& trace,
                          const SimConfig& config, std::uint32_t threads,
-                         const DriveOptions& options) {
+                         const DriveOptions& options, Barrier&& barrier) {
   struct ThreadCursor {
     std::size_t next = 0;
     Cycle arrive_at = 0;  ///< when the current record reaches the queue
-    Tag tag = 0;
     bool stamped = false;  ///< core_issue emitted for the current record
   };
   const bool charge_gaps = options.charge_gaps;
 
   threads = std::min(threads, trace.threads());
   std::vector<ThreadCursor> cursors(threads);
-  std::vector<std::vector<bool>> tag_busy(
-      threads, std::vector<bool>(std::size_t{1} << (8 * sizeof(Tag)), false));
+  std::vector<TagAllocator> tags(threads, TagAllocator(options.tag_pool));
   std::uint64_t records_left = 0;
   for (std::uint32_t t = 0; t < threads; ++t) {
     const auto& records = trace.thread(static_cast<ThreadId>(t));
@@ -97,7 +103,7 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
         ThreadCursor& cursor = cursors[t];
         const auto& records = trace.thread(tid);
         if (cursor.next >= records.size() || cursor.arrive_at > now ||
-            tag_busy[t][cursor.tag]) {
+            !tags[t].available()) {
           continue;
         }
         const MemRecord& record = records[cursor.next];
@@ -106,13 +112,15 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
         request.op = record.op;
         request.size = record.size;
         request.tid = tid;
-        request.tag = cursor.tag;
+        request.tag = tags[t].peek();
         request.core = static_cast<CoreId>(t % config.cores);
 #if MAC3D_OBS_ENABLED
         // core_issue marks the first presentation attempt; the delta to the
-        // path's queue_insert measures intake back-pressure.
+        // path's queue_insert measures intake back-pressure. peek() is
+        // stable across rejected attempts, so the stamp matches the tag
+        // eventually allocated.
         if (options.sink != nullptr && !cursor.stamped) {
-          options.sink->on_stage(Stage::kCoreIssue, tid, cursor.tag, now);
+          options.sink->on_stage(Stage::kCoreIssue, tid, request.tag, now);
           cursor.stamped = true;
         }
 #endif
@@ -120,8 +128,7 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
           intake_open = false;
           break;
         }
-        tag_busy[t][cursor.tag] = true;
-        ++cursor.tag;
+        tags[t].allocate();
         ++cursor.next;
         cursor.stamped = false;
         --records_left;
@@ -138,13 +145,14 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
     }
 
     path.tick(now);
+    barrier();
     for (const CompletedAccess& done : path.drain(now)) {
       result.makespan = std::max(result.makespan, done.completed);
       ++result.completions;
       MAC3D_OBS_STAMP(options.sink, Stage::kCoreComplete, done.target.tid,
                       done.target.tag, done.completed);
       if (done.target.tid < threads) {
-        tag_busy[done.target.tid][done.target.tag] = false;
+        tags[done.target.tid].release(done.target.tag);
       }
     }
 #if MAC3D_OBS_ENABLED
@@ -161,9 +169,9 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
         if (cursor.next >= trace.thread(static_cast<ThreadId>(t)).size()) {
           continue;
         }
-        // A thread stalled on a busy tag wakes on a completion (path
-        // event), not on an arrival time.
-        if (tag_busy[t][cursor.tag]) continue;
+        // A thread stalled on tag-pool exhaustion wakes on a completion
+        // (path event), not on an arrival time.
+        if (!tags[t].available()) continue;
         if (cursor.arrive_at <= now) {
           pending_now = true;
           break;
@@ -188,10 +196,10 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
 /// finite store buffer; it stalls otherwise, and pays its recorded compute
 /// gap between references. Up to `intake_ports` requests (one per core
 /// port) enter the path per cycle.
-template <typename Path>
+template <typename Path, typename Barrier>
 LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
                            const SimConfig& config, std::uint32_t threads,
-                           const DriveOptions& options) {
+                           const DriveOptions& options, Barrier&& barrier) {
   struct ThreadCursor {
     std::size_t next = 0;
     std::uint32_t loads = 0;   ///< outstanding loads + atomics
@@ -284,6 +292,7 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
     }
 
     path.tick(now);
+    barrier();
     for (const CompletedAccess& done : path.drain(now)) {
       result.makespan = std::max(result.makespan, done.completed);
       ++result.completions;
@@ -379,13 +388,36 @@ DriverResult finish(Path& path, const HmcDevice& device,
   return result;
 }
 
+/// Per-run engine state: in kParallel the device runs staged and a
+/// ParallelStepper commits its per-cycle work at the loop barrier; in
+/// kSerial the barrier is a no-op and no pool is spawned.
+class EngineWindow {
+ public:
+  EngineWindow(const DriveOptions& options, HmcDevice& device)
+      : device_(device) {
+    if (options.engine == Engine::kParallel) {
+      stepper_ = std::make_unique<ParallelStepper>(options.engine_threads);
+      device.begin_staged();
+    }
+  }
+
+  void barrier() {
+    if (stepper_ != nullptr) device_.step_staged(*stepper_);
+  }
+
+ private:
+  HmcDevice& device_;
+  std::unique_ptr<ParallelStepper> stepper_;
+};
+
 template <typename Path>
 LoopResult dispatch(Path& path, const MemoryTrace& trace,
                     const SimConfig& config, std::uint32_t threads,
-                    const DriveOptions& options) {
+                    const DriveOptions& options, EngineWindow& engine) {
+  const auto barrier = [&engine] { engine.barrier(); };
   return options.mode == FeedMode::kStreaming
-             ? run_streaming(path, trace, config, threads, options)
-             : run_closed_loop(path, trace, config, threads, options);
+             ? run_streaming(path, trace, config, threads, options, barrier)
+             : run_closed_loop(path, trace, config, threads, options, barrier);
 }
 
 /// Scopes one run's slice of a (possibly shared) CheckContext: snapshots
@@ -525,7 +557,9 @@ DriverResult run_mac(const MemoryTrace& trace, const SimConfig& config,
     register_device_probes(*sampler, device);
   }
 #endif
-  const LoopResult loop = dispatch(mac, trace, config, threads, options);
+  EngineWindow engine(options, device);
+  const LoopResult loop = dispatch(mac, trace, config, threads, options,
+                                   engine);
   DriverResult result = finish(mac, device, loop, "mac");
   swindow.close(loop.makespan);
   window.close(result);
@@ -567,7 +601,9 @@ DriverResult run_raw(const MemoryTrace& trace, const SimConfig& config,
     register_device_probes(*sampler, device);
   }
 #endif
-  const LoopResult loop = dispatch(raw, trace, config, threads, options);
+  EngineWindow engine(options, device);
+  const LoopResult loop = dispatch(raw, trace, config, threads, options,
+                                   engine);
   DriverResult result = finish(raw, device, loop, "raw");
   swindow.close(loop.makespan);
   window.close(result);
@@ -610,7 +646,9 @@ DriverResult run_mshr(const MemoryTrace& trace, const SimConfig& config,
     register_device_probes(*sampler, device);
   }
 #endif
-  const LoopResult loop = dispatch(mshr, trace, config, threads, options);
+  EngineWindow engine(options, device);
+  const LoopResult loop = dispatch(mshr, trace, config, threads, options,
+                                   engine);
   DriverResult result = finish(mshr, device, loop, "mshr");
   swindow.close(loop.makespan);
   window.close(result);

@@ -37,8 +37,32 @@ enum class FeedMode {
   kClosedLoop,
 };
 
+/// Which execution engine steps the memory pipeline (docs/PARALLELISM.md).
+enum class Engine {
+  /// Single-threaded reference scheduler (the default).
+  kSerial,
+  /// Deterministic parallel engine: the device runs in staged mode and a
+  /// ParallelStepper times link-quadrant shards concurrently between
+  /// per-cycle barriers. Bit-identical to kSerial for any thread count.
+  kParallel,
+};
+
 struct DriveOptions {
   FeedMode mode = FeedMode::kStreaming;
+  /// Execution engine for the run. kParallel produces bit-identical
+  /// results to kSerial (tests/test_parallel_equivalence.cpp enforces it).
+  Engine engine = Engine::kSerial;
+  /// Worker threads for Engine::kParallel (0 = hardware concurrency,
+  /// 1 = the parallel code path with inline execution). Ignored by
+  /// kSerial. The thread count never changes results, only wall-clock.
+  std::uint32_t engine_threads = 0;
+  /// Streaming feeder: per-thread MSHR-style tag pool size (simultaneously
+  /// outstanding requests per thread). 0 = the full 2 B tag space, which
+  /// reproduces the historical stall-on-busy-tag behavior; small pools
+  /// model finite transaction-ID files (EXPERIMENTS.md measures the
+  /// open-loop throughput effect). Ignored in closed-loop mode, whose
+  /// load/store windows already bound outstanding tags.
+  std::uint32_t tag_pool = 0;
   /// Loads (and atomics) a thread may have outstanding before it stalls.
   /// 2 models the classic "hit under miss" (Kroft) a simple in-order core
   /// affords; 1 is the strict stall-on-every-reference of paper Sec. 3.

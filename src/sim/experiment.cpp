@@ -3,16 +3,27 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "sim/parallel.hpp"
+
 namespace mac3d {
 
 std::vector<WorkloadRun> run_suite(const SuiteOptions& options) {
-  std::vector<WorkloadRun> runs;
+  std::vector<const Workload*> selected;
   for (const Workload* workload : workload_registry()) {
     if (!options.only.empty() &&
         std::find(options.only.begin(), options.only.end(),
                   workload->name()) == options.only.end()) {
       continue;
     }
+    selected.push_back(workload);
+  }
+
+  // Workloads are independent runs: each task builds its own trace,
+  // device and path, and commits into its registry-order slot — so the
+  // result vector is identical for any jobs value (docs/PARALLELISM.md).
+  std::vector<WorkloadRun> runs(selected.size());
+  const auto run_one = [&options, &selected, &runs](std::size_t index) {
+    const Workload* workload = selected[index];
     WorkloadParams params;
     params.threads = options.threads;
     params.scale = options.scale;
@@ -20,7 +31,7 @@ std::vector<WorkloadRun> run_suite(const SuiteOptions& options) {
     params.config = options.config;
     const MemoryTrace trace = workload->trace(params);
 
-    WorkloadRun run;
+    WorkloadRun& run = runs[index];
     run.name = workload->name();
     run.trace.records = trace.size();
     run.trace.instructions = trace.instructions();
@@ -31,16 +42,30 @@ std::vector<WorkloadRun> run_suite(const SuiteOptions& options) {
     run.trace.mem_access_rate = trace.mem_access_rate();
 
     if (options.run_raw) {
-      run.raw = run_raw(trace, options.config, options.threads);
+      run.raw = run_raw(trace, options.config, options.threads,
+                        options.drive);
     }
     if (options.run_mac) {
-      run.mac = run_mac(trace, options.config, options.threads);
+      run.mac = run_mac(trace, options.config, options.threads,
+                        options.drive);
     }
     if (options.run_mshr) {
       run.mshr = run_mshr(trace, options.config, options.threads,
-                          options.mshr_entries, options.mshr_block_bytes);
+                          options.mshr_entries, options.mshr_block_bytes,
+                          options.drive);
     }
-    runs.push_back(std::move(run));
+  };
+
+  // Shared telemetry/check hooks capture per-run state (probe windows,
+  // stamp streams), so they force the one-run-at-a-time schedule.
+  const bool hooks_attached = options.drive.checks != nullptr ||
+                              options.drive.sink != nullptr ||
+                              options.drive.sampler != nullptr;
+  if (options.jobs == 1 || hooks_attached || selected.size() <= 1) {
+    for (std::size_t i = 0; i < selected.size(); ++i) run_one(i);
+  } else {
+    ParallelStepper stepper(options.jobs);
+    stepper.for_shards(selected.size(), run_one);
   }
   return runs;
 }
@@ -61,12 +86,17 @@ std::uint32_t env_threads(std::uint32_t fallback) {
   return fallback;
 }
 
+std::uint32_t env_jobs(std::uint32_t fallback) {
+  return ParallelStepper::env_jobs(fallback);
+}
+
 SuiteOptions default_suite_options() {
   SuiteOptions options;
   options.config.apply_env();
   options.config.validate();
   options.scale = env_scale();
   options.threads = env_threads(options.config.cores);
+  options.jobs = env_jobs(1);
   return options;
 }
 

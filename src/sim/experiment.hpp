@@ -24,6 +24,16 @@ struct SuiteOptions {
   std::uint32_t mshr_entries = 32;
   std::uint32_t mshr_block_bytes = 64;
   std::vector<std::string> only;  ///< restrict to these workloads if set
+  /// Worker threads for the suite (docs/PARALLELISM.md): workloads are
+  /// independent runs, so they execute as parallel tasks with results
+  /// committed into registry-order slots — output is identical for any
+  /// jobs value. 0 = hardware concurrency; 1 = serial. Falls back to
+  /// serial when `drive` carries shared telemetry/check hooks (those
+  /// capture per-run state and must observe runs one at a time).
+  std::uint32_t jobs = 1;
+  /// Per-run driver options (engine, feed mode, tag pool, hooks). The
+  /// suite forwards it to every run_raw/run_mac/run_mshr call.
+  DriveOptions drive;
 };
 
 /// Trace-level characteristics kept per run (Fig. 9 ingredients).
@@ -55,6 +65,9 @@ struct WorkloadRun {
 
 /// Thread count from MAC3D_THREADS (default = `fallback`).
 [[nodiscard]] std::uint32_t env_threads(std::uint32_t fallback = 8);
+
+/// Suite worker count from MAC3D_JOBS (default = `fallback`).
+[[nodiscard]] std::uint32_t env_jobs(std::uint32_t fallback = 1);
 
 /// Default suite options: Table 1 config + env overrides applied.
 [[nodiscard]] SuiteOptions default_suite_options();

@@ -5,6 +5,7 @@
 #include "common/rng.hpp"
 #include "sim/driver.hpp"
 #include "sim/metrics.hpp"
+#include "sim/tag_allocator.hpp"
 #include "workloads/all.hpp"
 
 namespace mac3d {
@@ -171,6 +172,100 @@ TEST(Metrics, GeomeanAndMean) {
   EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
   EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
   EXPECT_EQ(geomean({}), 0.0);
+}
+
+// ------------------------------------------- streaming-feeder tag pools
+
+TEST(TagAllocator, FullSpaceHandsOutSequentialTagsLikeTheOldCursor) {
+  TagAllocator tags(0);  // full 2 B tag space
+  EXPECT_EQ(tags.available(), true);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(tags.peek(), static_cast<Tag>(i));
+    EXPECT_EQ(tags.allocate(), static_cast<Tag>(i));
+  }
+  EXPECT_EQ(tags.outstanding(), 100u);
+  EXPECT_EQ(tags.high_water(), 100u);
+}
+
+TEST(TagAllocator, ExhaustionBlocksUntilATagIsReleased) {
+  TagAllocator tags(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(tags.available());
+    (void)tags.allocate();
+  }
+  EXPECT_FALSE(tags.available());  // the feeder stalls this thread here
+  tags.release(2);
+  ASSERT_TRUE(tags.available());
+  EXPECT_EQ(tags.peek(), static_cast<Tag>(2));  // recycled, FIFO
+  EXPECT_EQ(tags.allocate(), static_cast<Tag>(2));
+  EXPECT_FALSE(tags.available());
+  EXPECT_EQ(tags.high_water(), 4u);
+}
+
+TEST(TagAllocator, RecycleOrderIsFifo) {
+  TagAllocator tags(3);
+  (void)tags.allocate();  // 0
+  (void)tags.allocate();  // 1
+  (void)tags.allocate();  // 2
+  tags.release(1);
+  tags.release(0);
+  EXPECT_EQ(tags.allocate(), static_cast<Tag>(1));  // released first
+  EXPECT_EQ(tags.allocate(), static_cast<Tag>(0));
+  EXPECT_EQ(tags.allocated(), 5u);
+  EXPECT_EQ(tags.released(), 2u);
+  EXPECT_EQ(tags.outstanding(), 3u);
+}
+
+TEST(TagAllocator, PeekIsStableAcrossRejectedAttempts) {
+  // The feeder peeks a tag, stamps the request, and only allocates on
+  // accept — a path rejection must not burn the tag.
+  TagAllocator tags(8);
+  EXPECT_EQ(tags.peek(), static_cast<Tag>(0));
+  EXPECT_EQ(tags.peek(), static_cast<Tag>(0));
+  EXPECT_EQ(tags.allocate(), static_cast<Tag>(0));
+  EXPECT_EQ(tags.peek(), static_cast<Tag>(1));
+}
+
+TEST(TagPool, TinyPoolStillCompletesEveryRequest) {
+  SimConfig config;
+  const MemoryTrace trace = random_trace(4, 300);
+  DriveOptions options;
+  options.tag_pool = 2;  // two outstanding requests per thread
+  const DriverResult mac = run_mac(trace, config, 4, options);
+  const DriverResult raw = run_raw(trace, config, 4, options);
+  EXPECT_EQ(mac.completions, trace.size());
+  EXPECT_EQ(raw.completions, trace.size());
+}
+
+TEST(TagPool, SmallerPoolsNeverFinishEarlier) {
+  SimConfig config;
+  const MemoryTrace trace = random_trace(4, 300);
+  Cycle previous = 0;
+  for (const std::uint32_t pool : {0u, 16u, 4u, 1u}) {  // descending depth
+    DriveOptions options;
+    options.tag_pool = pool;
+    const DriverResult mac = run_mac(trace, config, 4, options);
+    EXPECT_EQ(mac.completions, trace.size()) << "pool " << pool;
+    EXPECT_GE(mac.makespan, previous) << "pool " << pool;
+    previous = mac.makespan;
+  }
+}
+
+TEST(TagPool, FullSpacePoolMatchesHistoricalDefaultBitForBit) {
+  // tag_pool = 0 must reproduce the pre-allocator behavior (sequential
+  // tags, stall only when a tag is still in flight 2^16 requests later).
+  SimConfig config;
+  const MemoryTrace trace = random_trace(8, 200);
+  DriveOptions defaults;
+  DriveOptions full;
+  full.tag_pool = 0;
+  const DriverResult a = run_mac(trace, config, 8, defaults);
+  const DriverResult b = run_mac(trace, config, 8, full);
+  StatSet sa;
+  StatSet sb;
+  a.collect(sa, "mac");
+  b.collect(sb, "mac");
+  EXPECT_EQ(sa.to_json(), sb.to_json());
 }
 
 }  // namespace

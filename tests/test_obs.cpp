@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "arch/system.hpp"
 #include "common/rng.hpp"
 #include "obs/lifecycle.hpp"
 #include "obs/obs.hpp"
@@ -155,6 +156,127 @@ TEST(Lifecycle, AttachingASinkDoesNotPerturbTheSimulation) {
     EXPECT_DOUBLE_EQ(bare.avg_latency_cycles, traced.avg_latency_cycles)
         << path;
   }
+}
+
+/// Serializes every stamp into a line log so two runs' telemetry streams
+/// can be compared byte-for-byte (engine-equivalence tests below).
+class RecordingSink final : public EventSink {
+ public:
+  void on_stage(Stage stage, ThreadId tid, Tag tag, Cycle cycle) override {
+    log_ << "s " << static_cast<int>(stage) << ' ' << tid << ' ' << tag << ' '
+         << cycle << '\n';
+  }
+  void on_merge(ThreadId tid, Tag tag, ThreadId leader_tid, Tag leader_tag,
+                Cycle cycle) override {
+    log_ << "m " << tid << ' ' << tag << ' ' << leader_tid << ' '
+         << leader_tag << ' ' << cycle << '\n';
+  }
+  [[nodiscard]] std::string str() const { return log_.str(); }
+
+ private:
+  std::ostringstream log_;
+};
+
+TEST(Lifecycle, ParallelEngineAuditsCleanAtFourThreads) {
+  const MemoryTrace trace = random_trace(21, 4, 300);
+  SimConfig config;
+  for (const std::string path : {"mac", "raw", "mshr"}) {
+    for (const FeedMode mode : {FeedMode::kStreaming, FeedMode::kClosedLoop}) {
+      LifecycleTracer tracer;
+      tracer.keep_records(true);
+      const std::string window =
+          path + (mode == FeedMode::kStreaming ? "-str-par" : "-cl-par");
+      tracer.begin_path(window);
+      DriveOptions options;
+      options.mode = mode;
+      options.engine = Engine::kParallel;
+      options.engine_threads = 4;
+      options.sink = &tracer;
+      const DriverResult result = run_path(path, trace, config, options);
+      tracer.finish();
+
+      EXPECT_EQ(tracer.monotonicity_errors(), 0u) << window;
+      EXPECT_EQ(tracer.completeness_errors(), 0u) << window;
+      EXPECT_EQ(tracer.abandoned_records(), 0u) << window;
+      EXPECT_EQ(tracer.open_records(), 0u) << window;
+
+      const LifecycleTracer::PathTelemetry* telemetry = tracer.path(window);
+      ASSERT_NE(telemetry, nullptr) << window;
+      EXPECT_EQ(telemetry->completed, result.completions) << window;
+      EXPECT_EQ(telemetry->records.size(), result.completions) << window;
+    }
+  }
+}
+
+TEST(Lifecycle, ParallelEngineStampStreamMatchesSerialByteForByte) {
+  const MemoryTrace trace = random_trace(33, 4, 250);
+  SimConfig config;
+  for (const std::string path : {"mac", "raw", "mshr"}) {
+    RecordingSink serial_log;
+    DriveOptions serial;
+    serial.sink = &serial_log;
+    (void)run_path(path, trace, config, serial);
+
+    RecordingSink parallel_log;
+    DriveOptions parallel;
+    parallel.engine = Engine::kParallel;
+    parallel.engine_threads = 4;
+    parallel.sink = &parallel_log;
+    (void)run_path(path, trace, config, parallel);
+
+    EXPECT_EQ(serial_log.str(), parallel_log.str()) << path;
+    EXPECT_FALSE(serial_log.str().empty()) << path;
+  }
+}
+
+TEST(Lifecycle, SystemRunParallelStampStreamMatchesSerial) {
+  SimConfig config;
+  config.nodes = 2;
+  config.cores = 2;
+  const MemoryTrace trace = random_trace(27, 4, 150);
+
+  RecordingSink serial_log;
+  {
+    System system(config);
+    system.attach_sink(&serial_log);
+    system.attach_trace(trace);
+    EXPECT_TRUE(system.run().completed);
+  }
+
+  RecordingSink parallel_log;
+  {
+    System system(config);
+    system.attach_sink(&parallel_log);
+    system.attach_trace(trace);
+    EXPECT_TRUE(system.run_parallel(4).completed);
+  }
+
+  EXPECT_EQ(serial_log.str(), parallel_log.str());
+  EXPECT_FALSE(serial_log.str().empty());
+}
+
+TEST(Sampler, ParallelEngineRowsAndCsvMatchSerial) {
+  const MemoryTrace trace = random_trace(3, 4, 300);
+  SimConfig config;
+  CycleSampler serial_sampler(64);
+  CycleSampler parallel_sampler(64);
+  for (const std::string path : {"mac", "raw", "mshr"}) {
+    DriveOptions serial;
+    serial.sampler = &serial_sampler;
+    const DriverResult expected = run_path(path, trace, config, serial);
+
+    DriveOptions parallel;
+    parallel.engine = Engine::kParallel;
+    parallel.engine_threads = 4;
+    parallel.sampler = &parallel_sampler;
+    const DriverResult actual = run_path(path, trace, config, parallel);
+
+    EXPECT_EQ(expected.makespan, actual.makespan) << path;
+    const std::size_t rows = (expected.makespan + 63) / 64;  // ceil
+    EXPECT_EQ(serial_sampler.rows_for(path), rows) << path;
+    EXPECT_EQ(parallel_sampler.rows_for(path), rows) << path;
+  }
+  EXPECT_EQ(serial_sampler.to_csv(), parallel_sampler.to_csv());
 }
 
 TEST(Sampler, EmitsCeilMakespanOverPeriodRowsPerRun) {

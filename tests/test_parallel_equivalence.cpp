@@ -1,0 +1,288 @@
+// Differential equivalence suite for the deterministic parallel engine
+// (docs/PARALLELISM.md): Engine::kParallel must be bit-identical to
+// Engine::kSerial — same StatSets (compared as full-precision JSON), same
+// run reports, same invariant-check counters — for every path, feed mode
+// and worker count, and System::run_parallel must match System::run. A
+// randomized-config fuzz loop widens the net beyond the hand-picked grid.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/system.hpp"
+#include "check/check.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "obs/run_report.hpp"
+#include "sim/driver.hpp"
+#include "trace/trace.hpp"
+
+namespace mac3d {
+namespace {
+
+/// Synthetic trace with tunable row locality (the test_properties.cpp
+/// generator): sequential stream with probability `locality`, random row
+/// jumps otherwise, with a fence/store/atomic sprinkle so every request
+/// kind crosses the engine boundary.
+MemoryTrace locality_trace(double locality, std::uint32_t threads,
+                           std::uint32_t per_thread, std::uint64_t seed) {
+  MemoryTrace trace(threads);
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> position(threads, 0);
+  for (std::uint32_t i = 0; i < per_thread; ++i) {
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      if (rng.uniform() >= locality) {
+        position[t] = rng.below(1ull << 22) * 16;
+      } else {
+        position[t] += 8;
+      }
+      const Address addr = (i * threads + t) % 4 == 0
+                               ? position[t]
+                               : (static_cast<Address>(i) * threads + t) * 8;
+      trace.instr(static_cast<ThreadId>(t), 2);
+      switch (rng.below(24)) {
+        case 0: trace.atomic(static_cast<ThreadId>(t), addr & ~0x7ull, 8);
+                break;
+        case 1: trace.fence(static_cast<ThreadId>(t)); break;
+        case 2: trace.store(static_cast<ThreadId>(t), addr & ~0x7ull, 8);
+                break;
+        default: trace.load(static_cast<ThreadId>(t), addr & ~0x7ull); break;
+      }
+    }
+  }
+  return trace;
+}
+
+/// Run one path under the given options and render everything comparable
+/// about the run into one JSON string: the full StatSet plus the check
+/// counters. String equality == bit identity (StatSet::to_json prints
+/// doubles at full round-trip precision).
+std::string run_fingerprint(const std::string& path, const MemoryTrace& trace,
+                            const SimConfig& config, std::uint32_t threads,
+                            DriveOptions options) {
+  CheckContext checks(CheckContext::FailMode::kCount);
+  options.checks = &checks;
+  DriverResult result;
+  if (path == "mac") {
+    result = run_mac(trace, config, threads, options);
+  } else if (path == "raw") {
+    result = run_raw(trace, config, threads, options);
+  } else {
+    result = run_mshr(trace, config, threads, 32, 64, options);
+  }
+  StatSet stats;
+  result.collect(stats, path);
+  stats.set("checks.run", static_cast<double>(result.checks_run));
+  stats.set("checks.violations", static_cast<double>(result.check_violations));
+  return stats.to_json();
+}
+
+struct GridCase {
+  const char* path;
+  FeedMode mode;
+  std::uint32_t engine_threads;
+};
+
+std::string case_name(const ::testing::TestParamInfo<GridCase>& info) {
+  const GridCase& c = info.param;
+  return std::string(c.path) +
+         (c.mode == FeedMode::kStreaming ? "_streaming_" : "_closedloop_") +
+         std::to_string(c.engine_threads) + "t";
+}
+
+// ------------------------- paths x feed modes x worker counts, full grid
+class EngineGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(EngineGrid, ParallelMatchesSerialBitForBit) {
+  const GridCase& c = GetParam();
+  SimConfig config;
+  const MemoryTrace trace = locality_trace(0.6, 8, 300, 17);
+
+  DriveOptions serial;
+  serial.mode = c.mode;
+  serial.engine = Engine::kSerial;
+  const std::string expected =
+      run_fingerprint(c.path, trace, config, 8, serial);
+
+  DriveOptions parallel = serial;
+  parallel.engine = Engine::kParallel;
+  parallel.engine_threads = c.engine_threads;
+  const std::string actual =
+      run_fingerprint(c.path, trace, config, 8, parallel);
+
+  EXPECT_EQ(expected, actual);
+}
+
+std::vector<GridCase> grid_cases() {
+  std::vector<GridCase> cases;
+  for (const char* path : {"mac", "raw", "mshr"}) {
+    for (const FeedMode mode : {FeedMode::kStreaming, FeedMode::kClosedLoop}) {
+      for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+        cases.push_back({path, mode, threads});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPathsModesThreads, EngineGrid,
+                         ::testing::ValuesIn(grid_cases()), case_name);
+
+// ----------------------------------------------------- run-report parity
+TEST(ReportEquivalence, SerialAndParallelReportsRenderIdentically) {
+  SimConfig config;
+  const MemoryTrace trace = locality_trace(0.5, 8, 250, 29);
+
+  const auto render = [&](Engine engine) {
+    DriveOptions options;
+    options.engine = engine;
+    options.engine_threads = 4;
+    RunReport report;
+    report.set_config(config);
+    for (const char* path : {"raw", "mac", "mshr"}) {
+      DriverResult result;
+      if (std::string(path) == "mac") {
+        result = run_mac(trace, config, 8, options);
+      } else if (std::string(path) == "raw") {
+        result = run_raw(trace, config, 8, options);
+      } else {
+        result = run_mshr(trace, config, 8, 32, 64, options);
+      }
+      StatSet stats;
+      result.collect(stats, path);
+      report.set_path_stats(path, stats);
+    }
+    return report.to_json();
+  };
+
+  // The report deliberately carries no engine marker (apps/mac3d_cli.cpp),
+  // so a serial report and a parallel report of the same run are the same
+  // bytes — the CI equivalence job diffs them as artifacts.
+  EXPECT_EQ(render(Engine::kSerial), render(Engine::kParallel));
+}
+
+// ---------------------------------- closed-loop System engine equivalence
+TEST(SystemEquivalence, RunParallelMatchesRunAcrossThreadCounts) {
+  SimConfig config;
+  config.nodes = 2;
+  config.cores = 2;
+  ASSERT_GE(config.remote_hop_cycles, 1u);
+  const MemoryTrace trace = locality_trace(0.5, 8, 200, 41);
+
+  System reference(config);
+  reference.attach_trace(trace);
+  const SystemRunSummary expected = reference.run();
+  ASSERT_TRUE(expected.completed);
+
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    System system(config);
+    system.attach_trace(trace);
+    const SystemRunSummary actual = system.run_parallel(threads);
+    EXPECT_TRUE(actual.completed) << threads << " threads";
+    EXPECT_EQ(expected.cycles, actual.cycles) << threads << " threads";
+    EXPECT_EQ(expected.requests, actual.requests) << threads << " threads";
+    EXPECT_EQ(expected.completions, actual.completions)
+        << threads << " threads";
+    EXPECT_EQ(expected.stats.to_json(), actual.stats.to_json())
+        << threads << " threads";
+  }
+}
+
+TEST(SystemEquivalence, SingleNodeNeedsNoFabricAndStillMatches) {
+  SimConfig config;  // nodes = 1: no fabric, node shard count is 1
+  const MemoryTrace trace = locality_trace(0.7, 4, 200, 43);
+
+  System reference(config);
+  reference.attach_trace(trace);
+  const SystemRunSummary expected = reference.run();
+
+  System system(config);
+  system.attach_trace(trace);
+  const SystemRunSummary actual = system.run_parallel(4);
+  EXPECT_EQ(expected.stats.to_json(), actual.stats.to_json());
+}
+
+TEST(SystemEquivalence, ZeroHopFabricIsRejected) {
+  SimConfig config;
+  config.nodes = 2;
+  config.remote_hop_cycles = 0;
+  const MemoryTrace trace = locality_trace(0.5, 4, 50, 47);
+  System system(config);
+  system.attach_trace(trace);
+  EXPECT_THROW(system.run_parallel(2), std::invalid_argument);
+}
+
+TEST(SystemEquivalence, ChecksMatchUnderBothEngines) {
+  SimConfig config;
+  config.nodes = 2;
+  const MemoryTrace trace = locality_trace(0.6, 8, 150, 53);
+
+  const auto counters = [&](bool parallel) {
+    System system(config);
+    system.attach_trace(trace);
+    CheckContext checks(CheckContext::FailMode::kCount);
+    system.attach_checks(&checks);
+    const SystemRunSummary summary =
+        parallel ? system.run_parallel(4) : system.run();
+    EXPECT_TRUE(summary.completed);
+    checks.finalize();
+    return std::pair<std::uint64_t, std::uint64_t>(checks.checks_run(),
+                                                   checks.violations());
+  };
+
+  const auto serial = counters(false);
+  const auto parallel = counters(true);
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second);
+  EXPECT_EQ(parallel.second, 0u);
+}
+
+// --------------------------------------------------- randomized-config fuzz
+// Random geometry / timing / feeder knobs, random trace shape, random
+// worker count: serial and parallel must agree bit-for-bit on all three
+// paths every time. Seeds are fixed so failures replay deterministically.
+class EquivalenceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EquivalenceFuzz, RandomConfigsStayBitIdentical) {
+  Xoshiro256 rng(GetParam());
+  SimConfig config;
+  const std::uint32_t vault_choices[] = {8, 16, 32, 64};
+  const std::uint32_t link_choices[] = {2, 4, 8};
+  config.vaults = vault_choices[rng.below(4)];
+  config.hmc_links = link_choices[rng.below(3)];
+  if (config.hmc_links > config.vaults) config.hmc_links = config.vaults;
+  config.arq_entries = 4u << rng.below(5);       // 4 .. 64
+  config.builder_min_bytes = 16u << rng.below(3);  // 16 / 32 / 64
+  config.open_page = rng.below(2) == 0;
+  config.validate();
+
+  const std::uint32_t threads = 1u + static_cast<std::uint32_t>(rng.below(8));
+  const double locality = 0.25 * static_cast<double>(rng.below(5));
+  const MemoryTrace trace = locality_trace(
+      locality, threads, 120 + static_cast<std::uint32_t>(rng.below(120)),
+      GetParam() * 977 + 3);
+
+  DriveOptions serial;
+  serial.mode =
+      rng.below(2) == 0 ? FeedMode::kStreaming : FeedMode::kClosedLoop;
+  serial.tag_pool = serial.mode == FeedMode::kStreaming
+                        ? static_cast<std::uint32_t>(rng.below(3)) * 8
+                        : 0;  // 0 (full space), 8 or 16 outstanding tags
+  DriveOptions parallel = serial;
+  parallel.engine = Engine::kParallel;
+  parallel.engine_threads = 1u + static_cast<std::uint32_t>(rng.below(8));
+
+  for (const char* path : {"mac", "raw", "mshr"}) {
+    EXPECT_EQ(run_fingerprint(path, trace, config, threads, serial),
+              run_fingerprint(path, trace, config, threads, parallel))
+        << path << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceFuzz,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull, 13ull,
+                                           21ull, 34ull, 55ull, 89ull));
+
+}  // namespace
+}  // namespace mac3d
