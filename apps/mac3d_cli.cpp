@@ -19,8 +19,11 @@
 #include <string>
 #include <vector>
 
+#include "arch/system.hpp"
 #include "check/check.hpp"
 #include "obs/lifecycle.hpp"
+#include "obs/registry.hpp"
+#include "obs/report_diff.hpp"
 #include "obs/run_report.hpp"
 #include "obs/sampler.hpp"
 #include "sim/driver.hpp"
@@ -42,6 +45,7 @@ struct CliOptions {
   std::string out_path;
   std::vector<std::string> paths = {"raw", "mac"};
   std::uint32_t threads = 0;  // 0 = config.cores
+  std::uint32_t nodes = 0;    // 0 = config.nodes (system command)
   double scale = 1.0;
   std::uint64_t seed = 42;
   bool csv = false;
@@ -60,12 +64,16 @@ struct CliOptions {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: mac3d <run|suite|trace|list|config> [options]\n"
+               "usage: mac3d <run|suite|system|trace|list|config> [options]\n"
+               "       mac3d report-diff OLD NEW [--tolerance PCT] "
+               "[--ignore PATH] [--allow-missing]\n"
                "  --workload NAME   workload to trace (default sg)\n"
                "  --trace FILE      replay a saved trace instead\n"
                "  --out FILE        output trace file (trace command)\n"
                "  --paths a,b,c     raw | mac | mshr (default raw,mac)\n"
                "  --threads N       thread streams (default: cores)\n"
+               "  --nodes N         NUMA nodes (system command; default: "
+               "config)\n"
                "  --scale X         dataset scale (default 1.0)\n"
                "  --seed N          workload seed (default 42)\n"
                "  --set key=value   config override (repeatable)\n"
@@ -121,6 +129,8 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       }
     } else if (arg == "--threads") {
       options.threads = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--nodes") {
+      options.nodes = static_cast<std::uint32_t>(std::atoi(value()));
     } else if (arg == "--scale") {
       options.scale = std::atof(value());
     } else if (arg == "--seed") {
@@ -299,6 +309,10 @@ int cmd_run(const CliOptions& options) {
                       static_cast<double>(tracer.monotonicity_errors()));
     report.set_number("telemetry_completeness_errors",
                       static_cast<double>(tracer.completeness_errors()));
+    report.set_number("telemetry_abandoned_records",
+                      static_cast<double>(tracer.abandoned_records()));
+    report.set_number("telemetry_in_flight_at_end",
+                      static_cast<double>(tracer.in_flight_at_end()));
     if (options.checks) {
       StatSet check_stats;
       checks.collect(check_stats, "checks");
@@ -412,6 +426,177 @@ int cmd_suite(const CliOptions& options) {
   return 0;
 }
 
+// Closed-loop multi-node System run (paper Sec. 3): the command that
+// exercises the full distributed observability stack — per-node metric
+// namespaces, fabric link counters, cross-node flow arrows and the /2
+// report's "metrics" section.
+int cmd_system(const CliOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  SimConfig config = make_config(options);
+  if (options.nodes != 0) {
+    config.nodes = options.nodes;
+    config.validate();
+  }
+  const MemoryTrace trace = make_trace(options, config);
+
+  System system(config);
+  system.attach_trace(trace);
+
+  CheckContext checks(CheckContext::FailMode::kCount);
+  if (options.checks) system.attach_checks(&checks);
+
+  const bool want_tracer =
+      !options.trace_events.empty() || !options.report_path.empty();
+  const bool want_sampler =
+      options.sample_every > 0 || !options.sample_out.empty();
+#if !MAC3D_OBS_ENABLED
+  if (want_tracer || want_sampler || !options.report_path.empty()) {
+    std::fprintf(stderr,
+                 "mac3d: warning: built with -DMAC3D_OBS=OFF; telemetry "
+                 "options will record nothing\n");
+  }
+#endif
+  LifecycleTracer tracer;
+  if (!options.trace_events.empty() &&
+      !tracer.open_trace(options.trace_events)) {
+    std::fprintf(stderr, "mac3d: cannot open %s for writing\n",
+                 options.trace_events.c_str());
+    return 2;
+  }
+  CycleSampler sampler(options.sample_every == 0 ? 64 : options.sample_every);
+  MetricsRegistry registry;
+  if (want_tracer) {
+    tracer.begin_path("system");
+    system.attach_sink(&tracer);
+  }
+  if (want_sampler) system.attach_sampler(&sampler);
+  if (!options.report_path.empty()) system.attach_metrics(&registry);
+
+  const SystemRunSummary summary =
+      options.engine == "parallel"
+          ? system.run_parallel(options.engine_threads)
+          : system.run();
+  tracer.finish();
+  if (options.checks) checks.finalize();
+
+  if (!options.sample_out.empty() && !sampler.write_csv(options.sample_out)) {
+    std::fprintf(stderr, "mac3d: cannot write %s\n",
+                 options.sample_out.c_str());
+    return 2;
+  }
+
+  if (!options.report_path.empty()) {
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    RunReport report;
+    report.set_string("workload", options.trace_path.empty()
+                                      ? options.workload
+                                      : options.trace_path);
+    report.set_string("feed_mode", "closed_loop");
+    report.set_number("threads", static_cast<double>(trace.threads()));
+    report.set_number("nodes", static_cast<double>(config.nodes));
+    report.set_number("scale", options.scale);
+    report.set_number("seed", static_cast<double>(options.seed));
+    report.set_number("trace_records", static_cast<double>(trace.size()));
+    report.set_number("cycles", static_cast<double>(summary.cycles));
+    report.set_bool("completed", summary.completed);
+    report.set_number("wall_seconds", wall_seconds);
+    report.set_number("telemetry_monotonicity_errors",
+                      static_cast<double>(tracer.monotonicity_errors()));
+    report.set_number("telemetry_completeness_errors",
+                      static_cast<double>(tracer.completeness_errors()));
+    report.set_number("telemetry_abandoned_records",
+                      static_cast<double>(tracer.abandoned_records()));
+    report.set_number("telemetry_in_flight_at_end",
+                      static_cast<double>(tracer.in_flight_at_end()));
+    report.set_number("telemetry_hop_events",
+                      static_cast<double>(tracer.hop_events()));
+    if (options.checks) {
+      StatSet check_stats;
+      checks.collect(check_stats, "checks");
+      report.set_raw("checks", check_stats.to_json());
+    }
+    report.set_config(config);
+    report.set_metrics(registry);
+    report.set_path_stats("system", summary.stats);
+    const LifecycleTracer::PathTelemetry* telemetry = tracer.path("system");
+    if (telemetry != nullptr) {
+      report.set_path_request_latency("system", telemetry->request_latency);
+      for (std::size_t s = 0; s < kStageCount; ++s) {
+        if (telemetry->stage_latency[s].count() == 0) continue;
+        report.add_path_stage("system", to_string(static_cast<Stage>(s)),
+                              telemetry->stage_latency[s]);
+      }
+    }
+    if (!report.write(options.report_path)) {
+      std::fprintf(stderr, "mac3d: cannot write %s\n",
+                   options.report_path.c_str());
+      return 2;
+    }
+  }
+
+  if (options.csv) {
+    std::cout << summary.stats.to_csv();
+    return options.checks && checks.violations() != 0 ? 1 : 0;
+  }
+
+  print_banner("mac3d system: " +
+               (options.trace_path.empty() ? options.workload
+                                           : options.trace_path));
+  std::printf(
+      "%u nodes, %u threads, %s records, %s engine\n"
+      "cycles %s%s, requests %s, completions %s, avg latency %.0f cy\n",
+      config.nodes, trace.threads(), Table::count(trace.size()).c_str(),
+      options.engine.c_str(), Table::count(summary.cycles).c_str(),
+      summary.completed ? "" : " (cycle limit hit)",
+      Table::count(summary.requests).c_str(),
+      Table::count(summary.completions).c_str(), summary.avg_latency_cycles);
+  if (options.checks) {
+    std::printf("\n%s", checks.report().c_str());
+    return checks.violations() == 0 ? 0 : 1;
+  }
+  return 0;
+}
+
+/// `mac3d report-diff OLD NEW [--tolerance PCT] [--ignore PATH]
+/// [--allow-missing]`: its positional arguments don't fit the common
+/// flag-value parser, so it parses argv itself.
+int cmd_report_diff(int argc, char** argv) {
+  std::vector<std::string> files;
+  DiffOptions diff;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--tolerance") {
+      diff.tolerance_pct = std::atof(value());
+    } else if (arg == "--ignore") {
+      diff.ignore.emplace_back(value());
+    } else if (arg == "--allow-missing") {
+      diff.fail_on_missing = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: mac3d report-diff OLD NEW [--tolerance PCT] "
+                 "[--ignore PATH] [--allow-missing]\n");
+    return 2;
+  }
+  return run_report_diff(files[0], files[1], diff);
+}
+
 int cmd_trace(const CliOptions& options) {
   const SimConfig config = make_config(options);
   const MemoryTrace trace = make_trace(options, config);
@@ -442,6 +627,9 @@ int cmd_config(const CliOptions& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "report-diff") == 0) {
+    return cmd_report_diff(argc, argv);
+  }
   const std::optional<CliOptions> options = parse(argc, argv);
   if (!options) {
     usage();
@@ -450,6 +638,7 @@ int main(int argc, char** argv) {
   try {
     if (options->command == "run") return cmd_run(*options);
     if (options->command == "suite") return cmd_suite(*options);
+    if (options->command == "system") return cmd_system(*options);
     if (options->command == "trace") return cmd_trace(*options);
     if (options->command == "list") return cmd_list();
     if (options->command == "config") return cmd_config(*options);

@@ -41,5 +41,5 @@ int main(int argc, char** argv) {
       "Small minimums keep payload utilization high; large ones maximize\n"
       "Eq. 1 bandwidth efficiency but ship unrequested FLITs (Sec. 2.3.2's\n"
       "argument against 256 B cache lines). 64 B is the paper's choice.\n");
-  return 0;
+  return session.finish();
 }

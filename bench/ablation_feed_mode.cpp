@@ -38,5 +38,5 @@ int main(int argc, char** argv) {
                    Table::fmt(c.avg_targets_per_entry, 2)});
   }
   table.print();
-  return 0;
+  return session.finish();
 }

@@ -31,5 +31,5 @@ int main(int argc, char** argv) {
                    Table::fmt(runs_on[i].mac.avg_latency_cycles, 0) + " cy"});
   }
   table.print();
-  return 0;
+  return session.finish();
 }

@@ -42,5 +42,5 @@ int main(int argc, char** argv) {
       "MSHR packets are fixed 64 B (bandwidth efficiency cap %s); the MAC\n"
       "adapts 64-256 B per row (cap %s).\n",
       Table::pct(64.0 / 96.0).c_str(), Table::pct(256.0 / 288.0).c_str());
-  return 0;
+  return session.finish();
 }

@@ -48,5 +48,5 @@ int main(int argc, char** argv) {
       "the 32B control overhead per access (bandwidth efficiency pinned\n"
       "at 33%%). Closed-page + MAC reaches ~2/3 bandwidth efficiency and\n"
       "comparable latency without any open rows.\n");
-  return 0;
+  return session.finish();
 }

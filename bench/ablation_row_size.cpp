@@ -40,5 +40,5 @@ int main(int argc, char** argv) {
                    Table::bytes(static_cast<std::uint64_t>(packet / n))});
   }
   table.print();
-  return 0;
+  return session.finish();
 }

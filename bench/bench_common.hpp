@@ -9,12 +9,14 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/report_diff.hpp"
 #include "obs/run_report.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
@@ -25,19 +27,28 @@
 namespace mac3d::bench {
 
 /// Per-binary run-report session (docs/OBSERVABILITY.md §run report).
-/// Parses `--report FILE` from the binary's argv; when present, the
-/// destructor writes a RunReport carrying the benchmark's name, whatever
+/// Parses `--report FILE`, `--baseline FILE` and `--tolerance PCT` from
+/// the binary's argv. With --report, finish() (or the destructor as a
+/// safety net) writes a RunReport carrying the benchmark's name, whatever
 /// headline numbers the binary recorded via set_number()/set_path_stats(),
-/// the effective config (MAC3D_CONFIG applied) and the wall clock. Without
-/// --report every call is a cheap no-op, so instrumenting a figure binary
-/// costs one declaration.
+/// the effective config (MAC3D_CONFIG applied) and the wall clock. With
+/// --baseline, finish() additionally diffs this run against the saved
+/// baseline report (report_diff.hpp) and returns nonzero when any metric
+/// moved past the tolerance — `return session.finish();` from main() makes
+/// every figure binary a regression gate. Without the flags every call is
+/// a cheap no-op, so instrumenting a figure binary costs one declaration.
 class Session {
  public:
   Session(int argc, char** argv, std::string name)
       : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
     for (int i = 1; i < argc; ++i) {
-      if (std::string_view(argv[i]) == "--report" && i + 1 < argc) {
+      const std::string_view arg = argv[i];
+      if (arg == "--report" && i + 1 < argc) {
         report_path_ = argv[++i];
+      } else if (arg == "--baseline" && i + 1 < argc) {
+        baseline_path_ = argv[++i];
+      } else if (arg == "--tolerance" && i + 1 < argc) {
+        tolerance_pct_ = std::atof(argv[++i]);
       }
     }
     report_.set_string("bench", name_);
@@ -47,19 +58,34 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   ~Session() {
-    if (report_path_.empty()) return;
-    report_.set_number(
-        "wall_seconds",
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start_)
-            .count());
-    SimConfig config;
-    config.apply_env();
-    report_.set_config(config);
-    if (!report_.write(report_path_)) {
-      std::fprintf(stderr, "%s: cannot write %s\n", name_.c_str(),
-                   report_path_.c_str());
+    if (!finished_) write_report();
+  }
+
+  /// Write the report (if --report) and check against the baseline (if
+  /// --baseline). Returns the process exit code: 0 in-tolerance, 1 when a
+  /// baselined metric regressed, 2 on IO/parse trouble.
+  int finish() {
+    write_report();
+    if (baseline_path_.empty()) return 0;
+    FlatReport baseline;
+    FlatReport current;
+    std::string error;
+    if (!load_report(baseline_path_, baseline, error) ||
+        !parse_report(report_.to_json(), current, error)) {
+      std::fprintf(stderr, "%s: baseline check: %s\n", name_.c_str(),
+                   error.c_str());
+      return 2;
     }
+    DiffOptions options;
+    options.tolerance_pct = tolerance_pct_;
+    options.fail_on_missing = false;  // baselines may predate new metrics
+    const DiffResult result = diff_reports(baseline, current, options);
+    const std::string table = render_diff(result, options);
+    if (!table.empty()) {
+      std::printf("%s vs baseline %s:\n%s", name_.c_str(),
+                  baseline_path_.c_str(), table.c_str());
+    }
+    return result.ok() ? 0 : 1;
   }
 
   [[nodiscard]] bool enabled() const noexcept { return !report_path_.empty(); }
@@ -77,8 +103,28 @@ class Session {
   }
 
  private:
+  void write_report() {
+    finished_ = true;
+    report_.set_number(
+        "wall_seconds",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count());
+    SimConfig config;
+    config.apply_env();
+    report_.set_config(config);
+    if (report_path_.empty()) return;
+    if (!report_.write(report_path_)) {
+      std::fprintf(stderr, "%s: cannot write %s\n", name_.c_str(),
+                   report_path_.c_str());
+    }
+  }
+
   std::string name_;
   std::string report_path_;
+  std::string baseline_path_;
+  double tolerance_pct_ = 0.0;
+  bool finished_ = false;
   std::chrono::steady_clock::time_point start_;
   RunReport report_;
 };

@@ -102,5 +102,5 @@ int main(int argc, char** argv) {
   bench::Session session(argc, argv, "fig01_miss_rate");
   left_side();
   right_side();
-  return 0;
+  return session.finish();
 }

@@ -28,5 +28,5 @@ int main(int argc, char** argv) {
       "coalesced 256B request moves %llu B (paper: 768 B vs 288 B).\n",
       static_cast<unsigned long long>(16 * access_link_bytes(16, false)),
       static_cast<unsigned long long>(access_link_bytes(256, false)));
-  return 0;
+  return session.finish();
 }

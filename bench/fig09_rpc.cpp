@@ -35,5 +35,5 @@ int main(int argc, char** argv) {
   table.print();
   print_reference("every benchmark", "> 2 RPC", "see table");
   print_reference("average RPC", "up to 9.32", Table::fmt(sum / count, 2));
-  return 0;
+  return session.finish();
 }

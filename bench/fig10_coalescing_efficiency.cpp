@@ -37,5 +37,5 @@ int main(int argc, char** argv) {
                   Table::pct(series[0].mean_coalescing) + " / " +
                       Table::pct(series[1].mean_coalescing) + " / " +
                       Table::pct(series[2].mean_coalescing));
-  return 0;
+  return session.finish();
 }

@@ -31,5 +31,5 @@ int main(int argc, char** argv) {
   print_reference("range over sweep", "37.58% -> 56.04%", "see table");
   print_reference("diminishing returns past 32 entries", "+5.53% at 64",
                   "see gain column");
-  return 0;
+  return session.finish();
 }

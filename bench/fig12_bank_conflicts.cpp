@@ -36,5 +36,5 @@ int main(int argc, char** argv) {
               Table::count(total_removed / runs.size()).c_str());
   print_reference("paper totals (full-size inputs)",
                   "7.73 B total, 644 M average", "scaled run above");
-  return 0;
+  return session.finish();
 }

@@ -23,11 +23,16 @@ int main(int argc, char** argv) {
                    Table::fmt(mac / raw, 2) + "x"});
   }
   const double avg = sum / static_cast<double>(runs.size());
+  session.set_number("mean_bandwidth_efficiency", avg);
+  for (const WorkloadRun& run : runs) {
+    session.set_number("bandwidth_efficiency." + run.name,
+                       run.mac.bandwidth_efficiency());
+  }
   table.print();
   print_reference("average MAC bandwidth efficiency", "70.35%",
                   Table::pct(avg));
   print_reference("raw 16 B requests", "33.33%", "see raw column");
   print_reference("control overhead with MAC", "29.65%",
                   Table::pct(1.0 - avg));
-  return 0;
+  return session.finish();
 }

@@ -34,5 +34,5 @@ int main(int argc, char** argv) {
               Table::bytes(total / runs.size()).c_str());
   print_reference("paper average (full-size inputs)", "22.76 GB",
                   "scaled run above");
-  return 0;
+  return session.finish();
 }

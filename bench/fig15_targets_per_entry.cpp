@@ -30,5 +30,5 @@ int main(int argc, char** argv) {
   print_reference("suite average", "2.13",
                   Table::fmt(sum / static_cast<double>(runs.size()), 2));
   print_reference("largest per-workload average", "3.14", Table::fmt(best, 2));
-  return 0;
+  return session.finish();
 }

@@ -38,5 +38,5 @@ int main(int argc, char** argv) {
                   Table::bytes(mac.builder().storage_bytes()));
   print_reference("total at 32 entries", "2062 B",
                   Table::bytes(mac.storage_bytes()));
-  return 0;
+  return session.finish();
 }

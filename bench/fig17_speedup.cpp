@@ -32,5 +32,5 @@ int main(int argc, char** argv) {
                   Table::pct(sum / static_cast<double>(runs.size())));
   print_reference("top performers", "> 70% (MG, GRAPPOLO, SG, SPARSELU)",
                   "see table");
-  return 0;
+  return session.finish();
 }

@@ -18,5 +18,5 @@ int main(int argc, char** argv) {
       config.max_targets_per_entry(),
       config.arq_entries * config.arq_entry_bytes, config.total_banks());
   print_reference("avg HMC access latency", "93 ns", "see tests (calibrated)");
-  return 0;
+  return session.finish();
 }

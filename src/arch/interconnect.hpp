@@ -23,6 +23,8 @@
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "mac/coalescer.hpp"
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
 
 namespace mac3d {
 
@@ -47,6 +49,7 @@ class Interconnect {
     request_lanes_.at(dest).queue.push_back({now + hop_cycles_, request});
     ++messages_;
     ++sends_;
+    MAC3D_OBS_COUNT(link_metric(link_requests_, src, dest));
   }
 
   void send_completion(const CompletedAccess& completion, NodeId dest,
@@ -61,6 +64,7 @@ class Interconnect {
         {now + hop_cycles_, completion});
     ++messages_;
     ++sends_;
+    MAC3D_OBS_COUNT(link_metric(link_completions_, src, dest));
   }
 
   /// Pop all requests due at or before `now` destined to `dest` (FIFO).
@@ -85,13 +89,16 @@ class Interconnect {
   /// source-node order, preserving each outbox's push order (= that node's
   /// serial send order). Runs on one thread at the barrier.
   void commit_staged() {
-    for (Outbox& outbox : outboxes_) {
+    for (std::size_t src = 0; src < outboxes_.size(); ++src) {
+      Outbox& outbox = outboxes_[src];
       for (auto& message : outbox.requests) {
         if (consume_drop_fault()) continue;
         request_lanes_.at(message.dest).queue.push_back(
             {message.due, std::move(message.payload)});
         ++messages_;
         ++sends_;
+        MAC3D_OBS_COUNT(link_metric(link_requests_,
+                                    static_cast<NodeId>(src), message.dest));
       }
       outbox.requests.clear();
       for (auto& message : outbox.completions) {
@@ -100,6 +107,8 @@ class Interconnect {
             {message.due, std::move(message.payload)});
         ++messages_;
         ++sends_;
+        MAC3D_OBS_COUNT(link_metric(link_completions_,
+                                    static_cast<NodeId>(src), message.dest));
       }
       outbox.completions.clear();
     }
@@ -133,6 +142,43 @@ class Interconnect {
 
   [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
   [[nodiscard]] Cycle hop_cycles() const noexcept { return hop_cycles_; }
+
+  /// Pending (sent, not yet delivered) messages destined to `dest` —
+  /// sampler probe fodder. Safe during the parallel phase only from node
+  /// `dest`'s shard; System samples at serial points.
+  [[nodiscard]] std::size_t request_backlog(NodeId dest) const {
+    return request_lanes_.at(dest).queue.size();
+  }
+  [[nodiscard]] std::size_t completion_backlog(NodeId dest) const {
+    return completion_lanes_.at(dest).queue.size();
+  }
+
+  /// Register per-directed-link counters ("<prefix>.link<S><D>.requests" /
+  /// ".completions") for every src != dest pair. Increments happen as a
+  /// message enters a delivery lane: at send() in serial mode and at
+  /// commit_staged() (a serial point) in staged mode, so totals are
+  /// engine-invariant. Pass nullptr to detach; the registry must outlive
+  /// the interconnect.
+  void attach_metrics(MetricsRegistry* registry,
+                      const std::string& prefix = "fabric") {
+    link_requests_.clear();
+    link_completions_.clear();
+    if (registry == nullptr) return;
+    const std::size_t nodes = request_lanes_.size();
+    link_requests_.assign(nodes * nodes, nullptr);
+    link_completions_.assign(nodes * nodes, nullptr);
+    for (std::size_t src = 0; src < nodes; ++src) {
+      for (std::size_t dest = 0; dest < nodes; ++dest) {
+        if (src == dest) continue;
+        const std::string link = prefix + ".link" + std::to_string(src) +
+                                 std::to_string(dest);
+        link_requests_[src * nodes + dest] =
+            &registry->counter(link + ".requests");
+        link_completions_[src * nodes + dest] =
+            &registry->counter(link + ".completions");
+      }
+    }
+  }
   [[nodiscard]] std::uint64_t sends() const noexcept { return sends_; }
   [[nodiscard]] std::uint64_t deliveries() const noexcept {
     std::uint64_t total = 0;
@@ -217,6 +263,14 @@ class Interconnect {
     return true;
   }
 
+  [[nodiscard]] MetricCounter* link_metric(
+      const std::vector<MetricCounter*>& links, NodeId src,
+      NodeId dest) const noexcept {
+    const std::size_t index =
+        static_cast<std::size_t>(src) * request_lanes_.size() + dest;
+    return index < links.size() ? links[index] : nullptr;
+  }
+
   Cycle hop_cycles_;
   std::uint64_t messages_ = 0;
   std::uint64_t sends_ = 0;
@@ -226,6 +280,8 @@ class Interconnect {
   bool staged_ = false;
   bool drop_next_ = false;
   CheckContext* checks_ = nullptr;
+  std::vector<MetricCounter*> link_requests_;
+  std::vector<MetricCounter*> link_completions_;
 };
 
 }  // namespace mac3d

@@ -40,10 +40,20 @@ void Node::attach_sink(EventSink* sink) {
   device_->attach_sink(sink);
 }
 
+void Node::attach_metrics(MetricsRegistry* registry) {
+  const std::string prefix = "node" + std::to_string(id_);
+  router_->attach_metrics(registry, prefix + ".router");
+  m_completions_ =
+      registry == nullptr ? nullptr : &registry->counter(prefix +
+                                                         ".completions");
+}
+
 void Node::tick(Cycle now, Interconnect* fabric) {
   // 1. Interconnect arrivals.
   if (fabric != nullptr) {
     for (const RawRequest& request : fabric->deliver_requests(id_, now)) {
+      MAC3D_OBS_HOP(sink_, Hop::kRequestRecv, request.tid, request.tag,
+                    thread_owner_->at(request.tid), id_, now);
       pending_remote_.push_back(request);
     }
     // Retry remote requests the queue previously refused.
@@ -56,6 +66,10 @@ void Node::tick(Cycle now, Interconnect* fabric) {
     pending_remote_.resize(kept);
     for (const CompletedAccess& completion :
          fabric->deliver_completions(id_, now)) {
+      // The fabric lane does not carry the sender; the tracer recovers the
+      // true link from the matching response_send.
+      MAC3D_OBS_HOP(sink_, Hop::kResponseRecv, completion.target.tid,
+                    completion.target.tag, id_, id_, now);
       dispatch_completion(completion, now, nullptr);
     }
   }
@@ -66,9 +80,10 @@ void Node::tick(Cycle now, Interconnect* fabric) {
   // 3. Forward one outbound remote request to the fabric.
   if (fabric != nullptr && !router_->global_queue().empty()) {
     const RawRequest request = router_->global_queue().pop();
-    fabric->send_request(request,
-                         device_->address_map().node_of(request.addr), now,
-                         id_);
+    const NodeId home = device_->address_map().node_of(request.addr);
+    MAC3D_OBS_HOP(sink_, Hop::kRequestSend, request.tid, request.tag, id_,
+                  home, now);
+    fabric->send_request(request, home, now, id_);
   }
 
   // 4. MAC intake: one raw request per cycle.
@@ -89,6 +104,8 @@ void Node::dispatch_completion(const CompletedAccess& completion, Cycle now,
                                Interconnect* fabric) {
   const NodeId owner = thread_owner_->at(completion.target.tid);
   if (owner != id_ && fabric != nullptr) {
+    MAC3D_OBS_HOP(sink_, Hop::kResponseSend, completion.target.tid,
+                  completion.target.tag, id_, owner, now);
     fabric->send_completion(completion, owner, now, id_);
     return;
   }
@@ -98,6 +115,7 @@ void Node::dispatch_completion(const CompletedAccess& completion, Cycle now,
   MAC3D_OBS_STAMP(sink_, Stage::kCoreComplete, completion.target.tid,
                   completion.target.tag, now);
   ++completions_delivered_;
+  MAC3D_OBS_COUNT(m_completions_);
   request_latency_.add(static_cast<double>(completion.completed -
                                            completion.accepted));
 }

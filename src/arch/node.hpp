@@ -67,6 +67,11 @@ class Node {
   /// pass nullptr to detach.
   void attach_sink(EventSink* sink);
 
+  /// Register this node's metrics under the "node<id>." namespace
+  /// (router counters plus delivered completions). The registry must
+  /// outlive the node; pass nullptr to detach.
+  void attach_metrics(MetricsRegistry* registry);
+
  private:
   void dispatch_completion(const CompletedAccess& completion, Cycle now,
                            Interconnect* fabric);
@@ -83,6 +88,7 @@ class Node {
   std::uint64_t completions_delivered_ = 0;
   RunningStat request_latency_;
   EventSink* sink_ = nullptr;
+  MetricCounter* m_completions_ = nullptr;
 };
 
 }  // namespace mac3d

@@ -28,6 +28,53 @@ void System::attach_sink(EventSink* sink) {
   for (const auto& node : nodes_) node->attach_sink(sink);
 }
 
+void System::attach_metrics(MetricsRegistry* registry) {
+  registry_ = registry;
+  for (const auto& node : nodes_) node->attach_metrics(registry);
+  fabric_->attach_metrics(registry);
+}
+
+void System::register_probes() {
+  if (sampler_ == nullptr) return;
+  sampler_->begin_run("system");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node* node = nodes_[i].get();
+    const std::string prefix = "node" + std::to_string(i);
+    sampler_->add_probe(prefix + "_local_queue", [node](Cycle) {
+      return static_cast<double>(node->router().local_queue().size());
+    });
+    sampler_->add_probe(prefix + "_remote_queue", [node](Cycle) {
+      return static_cast<double>(node->router().remote_queue().size());
+    });
+    sampler_->add_probe(prefix + "_global_queue", [node](Cycle) {
+      return static_cast<double>(node->router().global_queue().size());
+    });
+  }
+  if (nodes_.size() > 1) {
+    Interconnect* fabric = fabric_.get();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const NodeId dest = static_cast<NodeId>(i);
+      sampler_->add_probe("fabric_req_backlog_n" + std::to_string(i),
+                          [fabric, dest](Cycle) {
+                            return static_cast<double>(
+                                fabric->request_backlog(dest));
+                          });
+      sampler_->add_probe("fabric_cmpl_backlog_n" + std::to_string(i),
+                          [fabric, dest](Cycle) {
+                            return static_cast<double>(
+                                fabric->completion_backlog(dest));
+                          });
+    }
+  }
+}
+
+void System::finalize_metrics(const SystemRunSummary& summary) {
+  if (registry_ == nullptr) return;
+  registry_->gauge("system.cycles").set(static_cast<double>(summary.cycles));
+  registry_->gauge("system.avg_request_latency_cycles")
+      .set(summary.avg_latency_cycles);
+}
+
 void System::attach_trace(const MemoryTrace& trace) {
   const std::uint32_t threads = trace.threads();
   thread_owner_.resize(threads);
@@ -45,28 +92,38 @@ void System::attach_trace(const MemoryTrace& trace) {
 
 SystemRunSummary System::run(Cycle max_cycles) {
   Interconnect* fabric = nodes_.size() > 1 ? fabric_.get() : nullptr;
+  register_probes();
 
   bool completed = false;
   Cycle now = 0;
-  for (; now < max_cycles; ++now) {
-    for (auto& node : nodes_) node->tick(now, fabric);
+  try {
+    for (; now < max_cycles; ++now) {
+      for (auto& node : nodes_) node->tick(now, fabric);
+      if (sampler_ != nullptr) sampler_->advance_to(now);
 
-    bool drained = fabric == nullptr || fabric->idle();
-    if (drained) {
-      for (const auto& node : nodes_) {
-        if (!node->drained()) {
-          drained = false;
-          break;
+      bool drained = fabric == nullptr || fabric->idle();
+      if (drained) {
+        for (const auto& node : nodes_) {
+          if (!node->drained()) {
+            drained = false;
+            break;
+          }
         }
       }
+      if (drained) {
+        completed = true;
+        ++now;
+        break;
+      }
     }
-    if (drained) {
-      completed = true;
-      ++now;
-      break;
-    }
+  } catch (...) {
+    if (sampler_ != nullptr) sampler_->abort_run();
+    throw;
   }
-  return summarize(now, completed);
+  if (sampler_ != nullptr) sampler_->end_run(now);
+  const SystemRunSummary summary = summarize(now, completed);
+  finalize_metrics(summary);
+  return summary;
 }
 
 SystemRunSummary System::run_parallel(std::uint32_t threads,
@@ -91,6 +148,7 @@ SystemRunSummary System::run_parallel(std::uint32_t threads,
     }
   }
   if (fabric != nullptr) fabric->begin_staged();
+  register_probes();
 
   bool completed = false;
   Cycle now = 0;
@@ -104,6 +162,7 @@ SystemRunSummary System::run_parallel(std::uint32_t threads,
       if (sink_ != nullptr) {
         for (BufferedSink& buffer : buffers) buffer.flush(*sink_);
       }
+      if (sampler_ != nullptr) sampler_->advance_to(now);
 
       bool drained = fabric == nullptr || fabric->idle();
       if (drained) {
@@ -127,13 +186,17 @@ SystemRunSummary System::run_parallel(std::uint32_t threads,
       for (const auto& node : nodes_) node->attach_sink(sink_);
     }
     if (fabric != nullptr) fabric->end_staged();
+    if (sampler_ != nullptr) sampler_->abort_run();
     throw;
   }
   if (sink_ != nullptr) {
     for (const auto& node : nodes_) node->attach_sink(sink_);
   }
   if (fabric != nullptr) fabric->end_staged();
-  return summarize(now, completed);
+  if (sampler_ != nullptr) sampler_->end_run(now);
+  const SystemRunSummary summary = summarize(now, completed);
+  finalize_metrics(summary);
+  return summary;
 }
 
 SystemRunSummary System::summarize(Cycle cycles, bool completed) const {

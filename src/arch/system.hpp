@@ -12,6 +12,8 @@
 #include "arch/node.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
 #include "trace/trace.hpp"
 
 namespace mac3d {
@@ -67,9 +69,28 @@ class System {
   /// sink itself needs no thread safety.
   void attach_sink(EventSink* sink);
 
+  /// Register per-node ("node<i>.router.*", "node<i>.completions") and
+  /// fabric ("fabric.link<S><D>.*") metrics in `registry`
+  /// (docs/OBSERVABILITY.md §multi-node). Counter updates are relaxed-
+  /// atomic and namespace-confined to one shard, gauges are written only
+  /// at end-of-run, so serial and run_parallel exports are byte-identical.
+  /// The registry must outlive the system; pass nullptr to detach.
+  void attach_metrics(MetricsRegistry* registry);
+
+  /// Attach a periodic sampler: run()/run_parallel() register per-node
+  /// router-occupancy and fabric-backlog probes and advance it at serial
+  /// points (after every full-system cycle — post-barrier under
+  /// run_parallel), so the CSV is engine-invariant. The sampler must
+  /// outlive the system; pass nullptr to detach.
+  void attach_sampler(CycleSampler* sampler) noexcept { sampler_ = sampler; }
+
  private:
   /// Shared end-of-run accounting (node order, both engines).
   SystemRunSummary summarize(Cycle cycles, bool completed) const;
+  /// begin_run + per-node/fabric probe registration (no-op when detached).
+  void register_probes();
+  /// End-of-run gauge writes (serial point; see attach_metrics).
+  void finalize_metrics(const SystemRunSummary& summary);
 
   SimConfig config_;
   std::vector<NodeId> thread_owner_;
@@ -77,6 +98,8 @@ class System {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<Interconnect> fabric_;
   EventSink* sink_ = nullptr;
+  MetricsRegistry* registry_ = nullptr;
+  CycleSampler* sampler_ = nullptr;
 };
 
 }  // namespace mac3d

@@ -35,13 +35,36 @@ void LifecycleTracer::ensure_path() {
   if (current_ == nullptr) begin_path("default");
 }
 
-void LifecycleTracer::begin_path(std::string name) {
-  // Requests the previous window never completed are audit failures, not
-  // state to carry over.
-  abandoned_records_ += open_.size();
-  for (auto& [key, record] : open_) release_lane(record);
+void LifecycleTracer::close_window() {
+  // Requests still open when a window closes fall into two buckets: a
+  // healthy monotone prefix that simply had not completed by the drain
+  // cutoff (normal for truncated runs — in_flight_at_end), versus a
+  // genuinely broken partial lifecycle (abandoned — an audit failure).
+  for (auto& [key, record] : open_) {
+    const auto& stamps = record.stamps;
+    bool healthy = !stamps.empty() && is_entry_stage(stamps.front().stage);
+    for (std::size_t i = 1; healthy && i < stamps.size(); ++i) {
+      if (stamps[i].cycle < stamps[i - 1].cycle ||
+          static_cast<int>(stamps[i].stage) <=
+              static_cast<int>(stamps[i - 1].stage)) {
+        healthy = false;
+      }
+    }
+    if (healthy) {
+      ++in_flight_at_end_;
+    } else {
+      ++abandoned_records_;
+    }
+    release_lane(record);
+  }
   open_.clear();
   lanes_.clear();
+  pending_hops_.clear();
+  node_tracks_named_.clear();  // track-name metadata is per-window pid
+}
+
+void LifecycleTracer::begin_path(std::string name) {
+  close_window();
 
   paths_.emplace_back();
   current_ = &paths_.back();
@@ -59,9 +82,7 @@ void LifecycleTracer::begin_path(std::string name) {
 
 void LifecycleTracer::finish() {
   if (finished_) return;
-  abandoned_records_ += open_.size();
-  open_.clear();
-  lanes_.clear();
+  close_window();
   if (trace_open_) {
     trace_out_ << "\n]}\n";
     trace_out_.close();
@@ -114,6 +135,65 @@ void LifecycleTracer::on_merge(ThreadId tid, Tag tag, ThreadId leader_tid,
                 "\"merge\",\"id\":%" PRIu64 ",\"pid\":%zu,\"tid\":%" PRIu64
                 ",\"ts\":%" PRIu64 "}",
                 id, paths_.size(), chrome_tid(leader->second), cycle);
+  emit_event(buf);
+}
+
+void LifecycleTracer::on_hop(Hop hop, ThreadId tid, Tag tag, NodeId src,
+                             NodeId dest, Cycle cycle) {
+  ensure_path();
+  ++hop_events_;
+  if (!trace_open_) return;
+
+  // Pair each send with its matching recv through a per-(gid, leg) queue:
+  // the send mints a flow id, the recv consumes it, and the two events
+  // render as one s -> f arrow between the two node tracks.
+  const bool is_send = hop == Hop::kRequestSend || hop == Hop::kResponseSend;
+  const std::uint64_t leg =
+      (hop == Hop::kRequestSend || hop == Hop::kRequestRecv) ? 0 : 1;
+  const std::uint64_t flow_key =
+      (static_cast<std::uint64_t>(request_gid(tid, tag)) << 1) | leg;
+  std::uint64_t id = 0;
+  if (is_send) {
+    id = ++flow_ids_;
+    pending_hops_[flow_key].push_back({id, src, dest});
+  } else {
+    auto pending = pending_hops_.find(flow_key);
+    if (pending == pending_hops_.end() || pending->second.empty()) return;
+    const PendingHop& sent = pending->second.front();
+    id = sent.id;
+    // The send endpoint knows the true link; recv stampers may only know
+    // the node they observed at (src == dest there).
+    src = sent.src;
+    dest = sent.dest;
+    pending->second.erase(pending->second.begin());
+    if (pending->second.empty()) pending_hops_.erase(pending);
+  }
+
+  // Anchor each flow endpoint in a one-cycle slice on the observing node's
+  // fabric track — Perfetto binds s/f events to an enclosing slice, so the
+  // anchors are what make the arrow render (across node tracks, since the
+  // send anchors on `src` and the recv on `dest`).
+  const unsigned node = static_cast<unsigned>(is_send ? src : dest);
+  const std::uint64_t track = node_track(node);
+  const std::size_t pid = paths_.size();
+  const std::string_view hop_name = to_string(hop);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"X\",\"cat\":\"hop\",\"name\":\"%.*s n%u-n%u\","
+                "\"pid\":%zu,\"tid\":%" PRIu64 ",\"ts\":%" PRIu64
+                ",\"dur\":1,\"args\":{\"tid\":%u,\"tag\":%u}}",
+                static_cast<int>(hop_name.size()), hop_name.data(),
+                static_cast<unsigned>(src), static_cast<unsigned>(dest), pid,
+                track, cycle, static_cast<unsigned>(tid),
+                static_cast<unsigned>(tag));
+  emit_event(buf);
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"%c\",%s\"cat\":\"hop\",\"name\":\"n%u-n%u\","
+                "\"id\":%" PRIu64 ",\"pid\":%zu,\"tid\":%" PRIu64
+                ",\"ts\":%" PRIu64 "}",
+                is_send ? 's' : 'f', is_send ? "" : "\"bp\":\"e\",",
+                static_cast<unsigned>(src), static_cast<unsigned>(dest), id,
+                pid, track, cycle);
   emit_event(buf);
 }
 
@@ -188,6 +268,24 @@ void LifecycleTracer::assign_lane(Record& record) {
 void LifecycleTracer::release_lane(const Record& record) {
   if (!record.has_lane) return;
   lanes_[record.tid].free.push_back(record.lane);
+}
+
+std::uint64_t LifecycleTracer::node_track(unsigned node) {
+  // Per-node fabric tracks live above every per-thread lane track:
+  // chrome_tid() maxes out at (2^16 - 1) << 8 | 255 < 2^24.
+  constexpr std::uint64_t kNodeTrackBase = 1ull << 24;
+  if (node_tracks_named_.size() <= node) node_tracks_named_.resize(node + 1);
+  if (!node_tracks_named_[node]) {
+    node_tracks_named_[node] = true;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%zu,\"tid\":%" PRIu64
+                  ",\"name\":\"thread_name\",\"args\":{\"name\":"
+                  "\"node%u.fabric\"}}",
+                  paths_.size(), kNodeTrackBase + node, node);
+    emit_event(buf);
+  }
+  return kNodeTrackBase + node;
 }
 
 std::uint64_t LifecycleTracer::chrome_tid(const Record& record) const {

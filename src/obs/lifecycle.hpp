@@ -60,7 +60,8 @@ class LifecycleTracer final : public EventSink {
   void keep_records(bool keep) noexcept { keep_records_ = keep; }
 
   /// Open a telemetry window for the named path; requests still open from
-  /// the previous window are counted as abandoned.
+  /// the previous window are audited as in_flight_at_end (healthy partial
+  /// lifecycle) or abandoned (broken one).
   void begin_path(std::string name);
 
   /// Close the current window and finish the trace file (emits the JSON
@@ -71,6 +72,8 @@ class LifecycleTracer final : public EventSink {
   void on_stage(Stage stage, ThreadId tid, Tag tag, Cycle cycle) override;
   void on_merge(ThreadId tid, Tag tag, ThreadId leader_tid, Tag leader_tag,
                 Cycle cycle) override;
+  void on_hop(Hop hop, ThreadId tid, Tag tag, NodeId src, NodeId dest,
+              Cycle cycle) override;
 
   [[nodiscard]] const std::deque<PathTelemetry>& paths() const noexcept {
     return paths_;
@@ -88,9 +91,21 @@ class LifecycleTracer final : public EventSink {
   [[nodiscard]] std::uint64_t completeness_errors() const noexcept {
     return completeness_errors_;
   }
-  /// Requests whose window closed before core_complete arrived.
+  /// Requests whose window closed with a *broken* partial lifecycle (no
+  /// entry stamp, or stamps out of order) — real errors, unlike
+  /// in_flight_at_end().
   [[nodiscard]] std::uint64_t abandoned_records() const noexcept {
     return abandoned_records_;
+  }
+  /// Requests that were still legitimately in flight (healthy monotone
+  /// prefix starting at an entry stage) when their window closed — normal
+  /// for truncated/drain-cutoff runs, so not an audit failure.
+  [[nodiscard]] std::uint64_t in_flight_at_end() const noexcept {
+    return in_flight_at_end_;
+  }
+  /// Fabric hop events observed (4 per completed remote round trip).
+  [[nodiscard]] std::uint64_t hop_events() const noexcept {
+    return hop_events_;
   }
 
   [[nodiscard]] std::uint64_t completed_records() const noexcept {
@@ -110,18 +125,29 @@ class LifecycleTracer final : public EventSink {
   };
 
   void ensure_path();
+  void close_window();
   void finalize_record(Record&& record);
   void audit(const Record& record);
   void emit_record(const Record& record);
   void emit_event(const std::string& json);
   void assign_lane(Record& record);
   void release_lane(const Record& record);
+  [[nodiscard]] std::uint64_t node_track(unsigned node);
   [[nodiscard]] std::uint64_t chrome_tid(const Record& record) const;
 
   std::deque<PathTelemetry> paths_;
   PathTelemetry* current_ = nullptr;
   std::unordered_map<std::uint32_t, Record> open_;
   std::unordered_map<ThreadId, LaneAlloc> lanes_;
+  /// Flow ids for in-flight fabric legs, keyed by (gid << 1) | leg so a
+  /// send and its matching recv share one arrow even across tag reuse.
+  struct PendingHop {
+    std::uint64_t id;
+    NodeId src;
+    NodeId dest;
+  };
+  std::unordered_map<std::uint64_t, std::vector<PendingHop>> pending_hops_;
+  std::vector<bool> node_tracks_named_;
 
   std::ofstream trace_out_;
   bool trace_open_ = false;
@@ -133,6 +159,8 @@ class LifecycleTracer final : public EventSink {
   std::uint64_t monotonicity_errors_ = 0;
   std::uint64_t completeness_errors_ = 0;
   std::uint64_t abandoned_records_ = 0;
+  std::uint64_t in_flight_at_end_ = 0;
+  std::uint64_t hop_events_ = 0;
   std::uint64_t completed_total_ = 0;
 };
 

@@ -36,6 +36,41 @@ enum class Stage : std::uint8_t {
 
 inline constexpr std::size_t kStageCount = 10;
 
+/// Stable global request identity: (tid, tag) is unique system-wide while
+/// the request is in flight (thread ids are global — threads never
+/// migrate between nodes — and a thread's tag is not reused until its
+/// completion returns). The packed form is the key every observability
+/// consumer (lifecycle records, cross-node flow ids) indexes by, so a
+/// request keeps one identity from core_issue on its origin node through
+/// the fabric, the remote MAC, and back.
+using RequestGid = std::uint32_t;
+
+[[nodiscard]] constexpr RequestGid request_gid(ThreadId tid,
+                                               Tag tag) noexcept {
+  return (static_cast<RequestGid>(tid) << 16) | tag;
+}
+
+/// Legs of a cross-node fabric traversal (multi-node System runs). A
+/// remote request hops origin -> home (request leg) and its completion
+/// hops home -> origin (response leg); each leg is observed at both ends
+/// so tracers can draw send -> receive flow arrows across node tracks.
+enum class Hop : std::uint8_t {
+  kRequestSend = 0,  ///< origin node handed the request to the fabric
+  kRequestRecv,      ///< home node received it from the fabric
+  kResponseSend,     ///< home node handed the completion to the fabric
+  kResponseRecv,     ///< origin node received the completion
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Hop hop) noexcept {
+  switch (hop) {
+    case Hop::kRequestSend: return "request_send";
+    case Hop::kRequestRecv: return "request_recv";
+    case Hop::kResponseSend: return "response_send";
+    case Hop::kResponseRecv: return "response_recv";
+  }
+  return "?";
+}
+
 [[nodiscard]] constexpr std::string_view to_string(Stage stage) noexcept {
   switch (stage) {
     case Stage::kCoreIssue: return "core_issue";
@@ -76,6 +111,21 @@ class EventSink {
     (void)leader_tag;
     (void)cycle;
   }
+
+  /// Request (tid, tag) crossed the interconnect: leg `hop` of its
+  /// round trip, traveling src -> dest, observed at `cycle` (send legs
+  /// stamp at fabric handoff, recv legs at delivery). Not a Stage: a
+  /// request's hops interleave with its stages without breaking the
+  /// strictly-increasing stage audit.
+  virtual void on_hop(Hop hop, ThreadId tid, Tag tag, NodeId src,
+                      NodeId dest, Cycle cycle) {
+    (void)hop;
+    (void)tid;
+    (void)tag;
+    (void)src;
+    (void)dest;
+    (void)cycle;
+  }
 };
 
 /// Per-shard mailbox for the parallel engine (docs/PARALLELISM.md): each
@@ -88,24 +138,39 @@ class EventSink {
 class BufferedSink final : public EventSink {
  public:
   void on_stage(Stage stage, ThreadId tid, Tag tag, Cycle cycle) override {
-    events_.push_back({stage, false, tid, tag, 0, 0, cycle});
+    events_.push_back({Event::kStage, stage, Hop{}, tid, tag, 0, 0, cycle});
   }
 
   void on_merge(ThreadId tid, Tag tag, ThreadId leader_tid, Tag leader_tag,
                 Cycle cycle) override {
+    events_.push_back({Event::kMerge, Stage::kMerge, Hop{}, tid, tag,
+                       leader_tid, leader_tag, cycle});
+  }
+
+  void on_hop(Hop hop, ThreadId tid, Tag tag, NodeId src, NodeId dest,
+              Cycle cycle) override {
     events_.push_back(
-        {Stage::kMerge, true, tid, tag, leader_tid, leader_tag, cycle});
+        {Event::kHop, Stage{}, hop, tid, tag, src, dest, cycle});
   }
 
   /// Replay all buffered events into `downstream` in stamp order, then
   /// clear the buffer. Callers serialize flushes across shards.
   void flush(EventSink& downstream) {
     for (const Event& event : events_) {
-      if (event.merge) {
-        downstream.on_merge(event.tid, event.tag, event.leader_tid,
-                            event.leader_tag, event.cycle);
-      } else {
-        downstream.on_stage(event.stage, event.tid, event.tag, event.cycle);
+      switch (event.kind) {
+        case Event::kStage:
+          downstream.on_stage(event.stage, event.tid, event.tag, event.cycle);
+          break;
+        case Event::kMerge:
+          downstream.on_merge(event.tid, event.tag,
+                              static_cast<ThreadId>(event.a),
+                              static_cast<Tag>(event.b), event.cycle);
+          break;
+        case Event::kHop:
+          downstream.on_hop(event.hop, event.tid, event.tag,
+                            static_cast<NodeId>(event.a),
+                            static_cast<NodeId>(event.b), event.cycle);
+          break;
       }
     }
     events_.clear();
@@ -117,12 +182,14 @@ class BufferedSink final : public EventSink {
 
  private:
   struct Event {
+    enum Kind : std::uint8_t { kStage, kMerge, kHop };
+    Kind kind;
     Stage stage;
-    bool merge;
+    Hop hop;
     ThreadId tid;
     Tag tag;
-    ThreadId leader_tid;
-    Tag leader_tag;
+    std::uint16_t a;  ///< merge: leader tid; hop: src node
+    std::uint16_t b;  ///< merge: leader tag; hop: dest node
     Cycle cycle;
   };
   std::vector<Event> events_;
@@ -143,11 +210,38 @@ class BufferedSink final : public EventSink {
       (sink)->on_merge((tid), (tag), (leader_tid), (leader_tag), (cycle));  \
     }                                                                       \
   } while (0)
+#define MAC3D_OBS_HOP(sink, hop, tid, tag, src, dest, cycle)            \
+  do {                                                                  \
+    if ((sink) != nullptr) {                                            \
+      (sink)->on_hop((hop), (tid), (tag), (src), (dest), (cycle));      \
+    }                                                                   \
+  } while (0)
+#define MAC3D_OBS_COUNT(counter)       \
+  do {                                 \
+    if ((counter) != nullptr) {        \
+      (counter)->add();                \
+    }                                  \
+  } while (0)
+#define MAC3D_OBS_COUNT_N(counter, n)  \
+  do {                                 \
+    if ((counter) != nullptr) {        \
+      (counter)->add((n));             \
+    }                                  \
+  } while (0)
 #else
 #define MAC3D_OBS_STAMP(sink, stage, tid, tag, cycle) \
   do {                                                \
   } while (0)
 #define MAC3D_OBS_MERGE(sink, tid, tag, leader_tid, leader_tag, cycle) \
   do {                                                                 \
+  } while (0)
+#define MAC3D_OBS_HOP(sink, hop, tid, tag, src, dest, cycle) \
+  do {                                                       \
+  } while (0)
+#define MAC3D_OBS_COUNT(counter) \
+  do {                           \
+  } while (0)
+#define MAC3D_OBS_COUNT_N(counter, n) \
+  do {                                \
   } while (0)
 #endif

@@ -1,0 +1,84 @@
+#include "obs/registry.hpp"
+
+#include "common/json.hpp"
+#include "obs/run_report.hpp"
+
+namespace mac3d {
+
+MetricCounter& MetricsRegistry::counter(const std::string& name) {
+  const auto it = counter_names_.find(name);
+  if (it != counter_names_.end()) return *it->second;
+  counters_.emplace_back();
+  counter_names_.emplace(name, &counters_.back());
+  return counters_.back();
+}
+
+MetricGauge& MetricsRegistry::gauge(const std::string& name) {
+  const auto it = gauge_names_.find(name);
+  if (it != gauge_names_.end()) return *it->second;
+  gauges_.emplace_back();
+  gauge_names_.emplace(name, &gauges_.back());
+  return gauges_.back();
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::size_t buckets) {
+  const auto it = histogram_names_.find(name);
+  if (it != histogram_names_.end()) return *it->second;
+  histograms_.emplace_back(buckets);
+  histogram_names_.emplace(name, &histograms_.back());
+  return histograms_.back();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& shard) {
+  for (const auto& [name, metric] : shard.counter_names_) {
+    counter(name).merge(*metric);
+  }
+  for (const auto& [name, metric] : shard.gauge_names_) {
+    gauge(name).set(metric->get());
+  }
+  for (const auto& [name, metric] : shard.histogram_names_) {
+    histogram(name, metric->buckets().size()).merge(*metric);
+  }
+}
+
+void MetricsRegistry::collect(StatSet& out, const std::string& prefix) const {
+  const std::string dot = prefix.empty() ? "" : prefix + ".";
+  for (const auto& [name, metric] : counter_names_) {
+    out.set(dot + name, static_cast<double>(metric->get()));
+  }
+  for (const auto& [name, metric] : gauge_names_) {
+    out.set(dot + name, metric->get());
+  }
+  for (const auto& [name, metric] : histogram_names_) {
+    out.set(dot + name + ".count", static_cast<double>(metric->count()));
+    out.set(dot + name + ".p50", static_cast<double>(metric->quantile(0.5)));
+    out.set(dot + name + ".max", static_cast<double>(metric->max_value()));
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  // One pass over the union of the three sorted name maps keeps the output
+  // globally name-sorted whatever order metrics were registered in.
+  std::map<std::string, std::string> rendered;
+  for (const auto& [name, metric] : counter_names_) {
+    rendered.emplace(name, json_number(metric->get()));
+  }
+  for (const auto& [name, metric] : gauge_names_) {
+    rendered.emplace(name, json_number(metric->get()));
+  }
+  for (const auto& [name, metric] : histogram_names_) {
+    rendered.emplace(name, RunReport::histogram_json(*metric));
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, json] : rendered) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    " + json_quote(name) + ": " + json;
+  }
+  out += first ? "}" : "\n  }";
+  return out;
+}
+
+}  // namespace mac3d

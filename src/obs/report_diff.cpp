@@ -1,0 +1,406 @@
+#include "obs/report_diff.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace mac3d {
+namespace {
+
+/// Recursive-descent reader that flattens as it parses; no DOM. Depth is
+/// bounded (run reports nest ~4 deep) to keep malformed input from
+/// recursing unboundedly.
+class FlattenParser {
+ public:
+  FlattenParser(const std::string& text, FlatReport& out)
+      : text_(text), out_(out) {}
+
+  bool parse(std::string& error) {
+    skip_ws();
+    if (!parse_value("", 0)) {
+      if (error_.empty()) fail("invalid JSON");
+      error = error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing content after document");
+      error = error_;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  void fail(const std::string& what) {
+    std::ostringstream msg;
+    msg << what << " at byte " << pos_;
+    error_ = msg.str();
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(const std::string& path, int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(path, depth);
+    if (c == '[') return parse_array(path, depth);
+    if (c == '"') {
+      std::string value;
+      if (!parse_string(value)) return false;
+      out_.strings[path] = std::move(value);
+      return true;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out_.numbers[path] = 1.0;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out_.numbers[path] = 0.0;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out_.strings[path] = "null";
+      return true;
+    }
+    double number = 0.0;
+    if (!parse_number(number)) return false;
+    out_.numbers[path] = number;
+    return true;
+  }
+
+  bool parse_object(const std::string& path, int depth) {
+    ++pos_;  // '{'
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return false;
+      }
+      const std::string child = path.empty() ? key : path + "." + key;
+      if (!parse_value(child, depth + 1)) return false;
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  bool parse_array(const std::string& path, int depth) {
+    ++pos_;  // '['
+    if (consume(']')) return true;
+    std::size_t index = 0;
+    while (true) {
+      const std::string child = path + "." + std::to_string(index++);
+      if (!parse_value(child, depth + 1)) return false;
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail("expected string");
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          // Reports only escape control characters; decode the BMP code
+          // point as a raw byte when it fits, '?' otherwise.
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          const unsigned long code =
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_number(double& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected value");
+      return false;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("malformed number");
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  FlatReport& out_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+[[nodiscard]] std::string format_value(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+bool parse_report(const std::string& json, FlatReport& out,
+                  std::string& error) {
+  out = FlatReport{};
+  FlattenParser parser(json, out);
+  if (!parser.parse(error)) return false;
+  const auto schema = out.strings.find("schema");
+  if (schema == out.strings.end()) {
+    error = "report has no \"schema\" field";
+    return false;
+  }
+  out.schema = schema->second;
+  if (out.schema != "mac3d-run-report/1" &&
+      out.schema != "mac3d-run-report/2") {
+    error = "unsupported schema \"" + out.schema + "\"";
+    return false;
+  }
+  return true;
+}
+
+bool load_report(const std::string& file, FlatReport& out,
+                 std::string& error) {
+  std::ifstream in(file);
+  if (!in.is_open()) {
+    error = "cannot open " + file;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (!parse_report(text.str(), out, error)) {
+    error = file + ": " + error;
+    return false;
+  }
+  return true;
+}
+
+DiffResult diff_reports(const FlatReport& old_report,
+                        const FlatReport& new_report,
+                        const DiffOptions& options) {
+  DiffResult result;
+  const auto ignored = [&](const std::string& path) {
+    return std::find(options.ignore.begin(), options.ignore.end(), path) !=
+           options.ignore.end();
+  };
+
+  // Union walk of the two sorted numeric maps.
+  auto old_it = old_report.numbers.begin();
+  auto new_it = new_report.numbers.begin();
+  while (old_it != old_report.numbers.end() ||
+         new_it != new_report.numbers.end()) {
+    MetricDelta delta;
+    if (new_it == new_report.numbers.end() ||
+        (old_it != old_report.numbers.end() && old_it->first < new_it->first)) {
+      delta.path = old_it->first;
+      delta.old_value = old_it->second;
+      delta.only_old = true;
+      ++old_it;
+    } else if (old_it == old_report.numbers.end() ||
+               new_it->first < old_it->first) {
+      delta.path = new_it->first;
+      delta.new_value = new_it->second;
+      delta.only_new = true;
+      ++new_it;
+    } else {
+      delta.path = old_it->first;
+      delta.old_value = old_it->second;
+      delta.new_value = new_it->second;
+      ++old_it;
+      ++new_it;
+      if (!ignored(delta.path)) ++result.compared;
+    }
+    if (ignored(delta.path)) continue;
+
+    if (delta.only_old || delta.only_new) {
+      delta.relative = std::numeric_limits<double>::infinity();
+      delta.out_of_tolerance = options.fail_on_missing;
+    } else {
+      const double magnitude =
+          std::max(std::fabs(delta.old_value), std::fabs(delta.new_value));
+      delta.relative = magnitude == 0.0 ? 0.0
+                                        : std::fabs(delta.new_value -
+                                                    delta.old_value) /
+                                              magnitude;
+      delta.out_of_tolerance =
+          delta.relative * 100.0 > options.tolerance_pct;
+    }
+    if (delta.relative == 0.0) continue;  // identical: not worth listing
+    if (delta.out_of_tolerance) ++result.out_of_tolerance;
+    result.deltas.push_back(std::move(delta));
+  }
+
+  // Non-numeric leaves: exact match, except "schema" (a /1 baseline may be
+  // compared against a /2 report; parse_report already validated both).
+  for (const auto& [path, value] : old_report.strings) {
+    if (path == "schema" || ignored(path)) continue;
+    const auto other = new_report.strings.find(path);
+    if (other == new_report.strings.end()) {
+      result.string_mismatches.push_back(path + ": removed (was \"" + value +
+                                         "\")");
+    } else if (other->second != value) {
+      result.string_mismatches.push_back(path + ": \"" + value + "\" -> \"" +
+                                         other->second + "\"");
+    }
+  }
+  for (const auto& [path, value] : new_report.strings) {
+    if (path == "schema" || ignored(path)) continue;
+    if (old_report.strings.find(path) == old_report.strings.end()) {
+      result.string_mismatches.push_back(path + ": added (\"" + value +
+                                         "\")");
+    }
+  }
+  return result;
+}
+
+std::string render_diff(const DiffResult& result, const DiffOptions& options) {
+  if (result.deltas.empty() && result.string_mismatches.empty()) return "";
+  std::ostringstream out;
+  std::size_t width = 6;
+  for (const MetricDelta& delta : result.deltas) {
+    width = std::max(width, delta.path.size());
+  }
+  width = std::min<std::size_t>(width, 64);
+
+  char header[192];
+  std::snprintf(header, sizeof(header), "  %-*s  %12s  %12s  %9s\n",
+                static_cast<int>(width), "metric", "old", "new", "delta");
+  out << header;
+  out << "  " << std::string(width, '-') << "  ------------  ------------"
+      << "  ---------\n";
+  for (const MetricDelta& delta : result.deltas) {
+    std::string rel;
+    if (delta.only_old) {
+      rel = "removed";
+    } else if (delta.only_new) {
+      rel = "added";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%+.2f%%",
+                    (delta.new_value - delta.old_value) >= 0
+                        ? delta.relative * 100.0
+                        : -delta.relative * 100.0);
+      rel = buf;
+    }
+    char line[192];
+    std::snprintf(line, sizeof(line), "%c %-*s  %12s  %12s  %9s\n",
+                  delta.out_of_tolerance ? '!' : ' ',
+                  static_cast<int>(width), delta.path.c_str(),
+                  delta.only_new ? "-" : format_value(delta.old_value).c_str(),
+                  delta.only_old ? "-" : format_value(delta.new_value).c_str(),
+                  rel.c_str());
+    out << line;
+  }
+  for (const std::string& mismatch : result.string_mismatches) {
+    out << "! " << mismatch << "\n";
+  }
+  out << "(" << result.compared << " metrics compared, "
+      << result.out_of_tolerance + result.string_mismatches.size()
+      << " out of tolerance at " << options.tolerance_pct << "%)\n";
+  return out.str();
+}
+
+int run_report_diff(const std::string& old_file, const std::string& new_file,
+                    const DiffOptions& options) {
+  FlatReport old_report;
+  FlatReport new_report;
+  std::string error;
+  if (!load_report(old_file, old_report, error) ||
+      !load_report(new_file, new_report, error)) {
+    std::fprintf(stderr, "report-diff: %s\n", error.c_str());
+    return 2;
+  }
+  const DiffResult result = diff_reports(old_report, new_report, options);
+  const std::string table = render_diff(result, options);
+  if (table.empty()) {
+    std::printf("report-diff: %zu metrics compared, no differences\n",
+                result.compared);
+  } else {
+    std::printf("report-diff: %s vs %s\n%s", old_file.c_str(),
+                new_file.c_str(), table.c_str());
+  }
+  return result.ok() ? 0 : 1;
+}
+
+}  // namespace mac3d

@@ -1,0 +1,83 @@
+// report-diff: the perf-regression half of the observability stack.
+//
+// Parses two run-report JSON files (schemas mac3d-run-report/1 and /2),
+// flattens every numeric leaf to a dotted path ("paths.mac.stats.bw",
+// "metrics.node3.router.remote_in"), and compares them metric-by-metric
+// against a relative tolerance. Non-numeric leaves (schema string, config
+// tokens) participate as exact-match strings. `wall_seconds` is ignored by
+// default — it is the one field two identical runs legitimately disagree
+// on. Backs `mac3d report-diff` and bench --baseline (bench_common.hpp).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mac3d {
+
+/// Minimal recursive-descent JSON reader for run reports: objects, arrays,
+/// strings (with escapes), numbers, bools, null. No DOM — parse_report
+/// flattens directly into path -> leaf maps.
+struct FlatReport {
+  std::string schema;
+  std::map<std::string, double> numbers;  ///< dotted path -> numeric leaf
+  std::map<std::string, std::string> strings;
+};
+
+/// Parse `json` into a FlatReport. Returns false (with a one-line message
+/// in `error`) on malformed JSON or an unrecognized schema; accepts
+/// mac3d-run-report/1 and /2 and reports missing "schema" as an error.
+bool parse_report(const std::string& json, FlatReport& out,
+                  std::string& error);
+
+/// Read + parse a report file (false on IO or parse failure).
+bool load_report(const std::string& file, FlatReport& out, std::string& error);
+
+/// One compared metric. `relative` is |new-old| / max(|old|, |new|), or 0
+/// when both are 0; infinite when a side is missing.
+struct MetricDelta {
+  std::string path;
+  double old_value = 0.0;
+  double new_value = 0.0;
+  double relative = 0.0;
+  bool only_old = false;   ///< metric disappeared
+  bool only_new = false;   ///< metric appeared
+  bool out_of_tolerance = false;
+};
+
+struct DiffOptions {
+  /// Relative tolerance in percent: |delta| <= tolerance_pct% passes.
+  double tolerance_pct = 0.0;
+  /// Metrics appearing on only one side fail the diff when true.
+  bool fail_on_missing = true;
+  /// Dotted paths excluded from comparison (exact match).
+  std::vector<std::string> ignore = {"wall_seconds"};
+};
+
+struct DiffResult {
+  std::vector<MetricDelta> deltas;       ///< every differing/missing metric
+  std::size_t compared = 0;              ///< numeric metrics on both sides
+  std::size_t out_of_tolerance = 0;
+  std::vector<std::string> string_mismatches;  ///< non-numeric leaf diffs
+  [[nodiscard]] bool ok() const noexcept {
+    return out_of_tolerance == 0 && string_mismatches.empty();
+  }
+};
+
+/// Compare two flattened reports. String leaves are compared exactly but
+/// never gate ok() unless they differ (schema difference /1 vs /2 alone is
+/// allowed: the /2-only "metrics" leaves then count as only_new, which
+/// fail only under fail_on_missing).
+DiffResult diff_reports(const FlatReport& old_report,
+                        const FlatReport& new_report,
+                        const DiffOptions& options);
+
+/// Render the diff as a human table (empty string when nothing differs).
+std::string render_diff(const DiffResult& result, const DiffOptions& options);
+
+/// Full CLI entry: load both files, diff, print table to stdout. Exit
+/// codes: 0 in-tolerance, 1 out-of-tolerance, 2 usage/IO/parse error.
+int run_report_diff(const std::string& old_file, const std::string& new_file,
+                    const DiffOptions& options);
+
+}  // namespace mac3d

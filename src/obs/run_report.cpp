@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/json.hpp"
+#include "obs/registry.hpp"
 
 namespace mac3d {
 
@@ -43,6 +44,10 @@ void RunReport::set_config(const SimConfig& config) {
   }
   out += '}';
   config_json_ = std::move(out);
+}
+
+void RunReport::set_metrics(const MetricsRegistry& registry) {
+  metrics_json_ = registry.to_json();
 }
 
 RunReport::PathEntry& RunReport::path_entry(const std::string& name) {
@@ -100,6 +105,11 @@ std::string RunReport::to_json() const {
     if (!first) out += ',';
     first = false;
     out += "\n  \"config\": " + config_json_;
+  }
+  if (!metrics_json_.empty()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  \"metrics\": " + metrics_json_;
   }
   if (!paths_.empty()) {
     if (!first) out += ',';

@@ -15,10 +15,15 @@
 
 namespace mac3d {
 
+class MetricsRegistry;
+
 class RunReport {
  public:
-  /// Schema identity stamped into every report.
-  static constexpr std::string_view kSchema = "mac3d-run-report/1";
+  /// Schema identity stamped into every report. /2 added the optional
+  /// "metrics" section (MetricsRegistry export); readers (report-diff)
+  /// still accept /1.
+  static constexpr std::string_view kSchema = "mac3d-run-report/2";
+  static constexpr std::string_view kSchemaV1 = "mac3d-run-report/1";
 
   RunReport();
 
@@ -31,6 +36,10 @@ class RunReport {
 
   /// Full config snapshot under "config" (SimConfig::to_kv round-trip).
   void set_config(const SimConfig& config);
+
+  /// Snapshot a MetricsRegistry under "metrics" (sorted, deterministic —
+  /// the /2 schema addition).
+  void set_metrics(const MetricsRegistry& registry);
 
   // ---- Per-path sections (rendered under "paths") ------------------------
   void set_path_stats(const std::string& path, const StatSet& stats);
@@ -59,6 +68,7 @@ class RunReport {
 
   std::vector<std::pair<std::string, std::string>> fields_;
   std::string config_json_;
+  std::string metrics_json_;
   std::vector<PathEntry> paths_;
 };
 

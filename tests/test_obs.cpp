@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "obs/lifecycle.hpp"
 #include "obs/obs.hpp"
+#include "obs/registry.hpp"
 #include "obs/run_report.hpp"
 #include "obs/sampler.hpp"
 #include "sim/driver.hpp"
@@ -171,6 +172,12 @@ class RecordingSink final : public EventSink {
     log_ << "m " << tid << ' ' << tag << ' ' << leader_tid << ' '
          << leader_tag << ' ' << cycle << '\n';
   }
+  void on_hop(Hop hop, ThreadId tid, Tag tag, NodeId src, NodeId dest,
+              Cycle cycle) override {
+    log_ << "h " << static_cast<int>(hop) << ' ' << tid << ' ' << tag << ' '
+         << static_cast<unsigned>(src) << ' ' << static_cast<unsigned>(dest)
+         << ' ' << cycle << '\n';
+  }
   [[nodiscard]] std::string str() const { return log_.str(); }
 
  private:
@@ -253,6 +260,86 @@ TEST(Lifecycle, SystemRunParallelStampStreamMatchesSerial) {
 
   EXPECT_EQ(serial_log.str(), parallel_log.str());
   EXPECT_FALSE(serial_log.str().empty());
+  // Multi-node runs route remote traffic over the fabric, so the identical
+  // streams must include hop events (request/response send+recv legs).
+  EXPECT_NE(serial_log.str().find("\nh "), std::string::npos);
+}
+
+TEST(Registry, CountersGaugesAndHistogramsExportSortedJson) {
+  MetricsRegistry registry;
+  registry.counter("node1.router.routed").add(3);
+  registry.counter("node0.router.routed").add();
+  registry.gauge("system.cycles").set(42.0);
+  registry.histogram("node0.latency").add(7);
+  EXPECT_EQ(registry.size(), 4u);
+  // find-or-register: same name returns the same metric.
+  registry.counter("node0.router.routed").add(4);
+  EXPECT_EQ(registry.size(), 4u);
+  EXPECT_EQ(registry.counter("node0.router.routed").get(), 5u);
+
+  const std::string json = registry.to_json();
+  // Dotted names sort lexicographically: node0.* before node1.* before
+  // system.*, regardless of registration order.
+  const std::size_t n0 = json.find("node0.latency");
+  const std::size_t n0r = json.find("node0.router.routed");
+  const std::size_t n1 = json.find("node1.router.routed");
+  const std::size_t sys = json.find("system.cycles");
+  ASSERT_NE(n0, std::string::npos);
+  ASSERT_NE(sys, std::string::npos);
+  EXPECT_LT(n0, n0r);
+  EXPECT_LT(n0r, n1);
+  EXPECT_LT(n1, sys);
+  EXPECT_NE(json.find("\"node1.router.routed\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"system.cycles\": 42"), std::string::npos);
+}
+
+TEST(Registry, MergeFoldsShardsCommutatively) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("x").add(10);
+  b.counter("x").add(5);
+  b.counter("y").add(1);
+  a.histogram("h").add(3);
+  b.histogram("h").add(9);
+
+  MetricsRegistry merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.counter("x").get(), 15u);
+  EXPECT_EQ(merged.counter("y").get(), 1u);
+
+  MetricsRegistry reversed;
+  reversed.merge(b);
+  reversed.merge(a);
+  EXPECT_EQ(merged.to_json(), reversed.to_json());
+}
+
+TEST(Registry, SystemRunPopulatesPerNodeAndFabricNamespaces) {
+  SimConfig config;
+  config.nodes = 2;
+  config.cores = 2;
+  const MemoryTrace trace = random_trace(17, 4, 150);
+  MetricsRegistry registry;
+  System system(config);
+  system.attach_metrics(&registry);
+  system.attach_trace(trace);
+  ASSERT_TRUE(system.run().completed);
+
+  EXPECT_GT(registry.counter("node0.router.routed").get(), 0u);
+  EXPECT_GT(registry.counter("node1.router.routed").get(), 0u);
+  EXPECT_GT(registry.counter("node0.completions").get(), 0u);
+  // random_trace touches a small range homed on node 0, so node 1's
+  // threads send requests over link 1->0 and completions return 0->1.
+  EXPECT_GT(registry.counter("fabric.link10.requests").get(), 0u);
+  EXPECT_GT(registry.counter("fabric.link01.completions").get(), 0u);
+  EXPECT_GT(registry.gauge("system.cycles").get(), 0.0);
+
+  RunReport report;
+  report.set_metrics(registry);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"metrics\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"node0.router.routed\":"), std::string::npos);
+  EXPECT_NE(json.find("\"fabric.link10.requests\":"), std::string::npos);
 }
 
 TEST(Sampler, ParallelEngineRowsAndCsvMatchSerial) {
@@ -347,7 +434,7 @@ struct TraceScan {
       case 'E': ++ends; --depth[{pid, tid}]; break;
       case 's': ++flows_out; break;
       case 'f': ++flows_in; break;
-      case 'M': case 'i': break;
+      case 'M': case 'i': case 'X': break;
       default: well_formed = false; break;
     }
   }
@@ -390,15 +477,58 @@ TEST(Tracer, ChromeTraceStreamBalancesEveryTrackAndPairsFlows) {
   std::remove(file.c_str());
 }
 
-TEST(Tracer, WindowCloseCountsUnfinishedRequestsAsAbandoned) {
+TEST(Tracer, WindowCloseSeparatesInFlightFromAbandoned) {
   LifecycleTracer tracer;
   tracer.begin_path("a");
+  // Healthy-but-open: starts at an entry stage with monotone stamps, so it
+  // was simply still in flight when the window closed.
   tracer.on_stage(Stage::kCoreIssue, 0, 1, 0);
   tracer.on_stage(Stage::kQueueInsert, 0, 1, 1);
-  tracer.begin_path("b");  // request (0, 1) never completed
+  // Abandoned: no entry stamp — the record is malformed, not in flight.
+  tracer.on_stage(Stage::kQueueInsert, 0, 2, 3);
+  tracer.begin_path("b");  // neither request ever completed
   tracer.finish();
+  EXPECT_EQ(tracer.in_flight_at_end(), 1u);
   EXPECT_EQ(tracer.abandoned_records(), 1u);
   EXPECT_EQ(tracer.completed_records(), 0u);
+}
+
+TEST(Tracer, HopEventsEmitPairedFlowArrowsOnNodeFabricTracks) {
+  const std::string file = ::testing::TempDir() + "mac3d_obs_hops.json";
+  SimConfig config;
+  config.nodes = 2;
+  config.cores = 2;
+  const MemoryTrace trace = random_trace(41, 4, 200);
+  LifecycleTracer tracer;
+  ASSERT_TRUE(tracer.open_trace(file));
+  tracer.begin_path("system");
+  System system(config);
+  system.attach_sink(&tracer);
+  system.attach_trace(trace);
+  ASSERT_TRUE(system.run().completed);
+  tracer.finish();
+  EXPECT_GT(tracer.hop_events(), 0u);
+  // Every send leg produced exactly one recv leg.
+  EXPECT_EQ(tracer.hop_events() % 2, 0u);
+
+  std::ifstream in(file);
+  ASSERT_TRUE(in.is_open());
+  TraceScan scan;
+  std::string line;
+  bool saw_fabric_track = false;
+  while (std::getline(in, line)) {
+    scan.feed(line);
+    if (line.find("node0.fabric") != std::string::npos ||
+        line.find("node1.fabric") != std::string::npos) {
+      saw_fabric_track = true;
+    }
+  }
+  EXPECT_TRUE(scan.well_formed);
+  EXPECT_EQ(scan.begins, scan.ends);
+  EXPECT_EQ(scan.flows_out, scan.flows_in);
+  EXPECT_GE(scan.flows_out, tracer.hop_events() / 2);
+  EXPECT_TRUE(saw_fabric_track);
+  std::remove(file.c_str());
 }
 
 TEST(Tracer, AuditFlagsBackwardCycleAndStageOrder)
@@ -423,6 +553,10 @@ TEST(Lifecycle, DisabledBuildCompilesStampsToNothing) {
   LifecycleTracer* sink = nullptr;
   MAC3D_OBS_STAMP(sink, Stage::kCoreIssue, 0, 0, 0);
   MAC3D_OBS_MERGE(sink, 0, 0, 0, 0, 0);
+  MAC3D_OBS_HOP(sink, Hop::kRequestSend, 0, 0, 0, 1, 0);
+  MetricCounter* counter = nullptr;
+  MAC3D_OBS_COUNT(counter);
+  MAC3D_OBS_COUNT_N(counter, 7);
   SUCCEED();
 }
 
@@ -444,7 +578,7 @@ TEST(RunReportJson, RendersSchemaConfigAndPerPathSections) {
   report.add_path_stage("mac", "bank_access", latency);
 
   const std::string json = report.to_json();
-  EXPECT_EQ(json.rfind("{\n  \"schema\": \"mac3d-run-report/1\"", 0), 0u)
+  EXPECT_EQ(json.rfind("{\n  \"schema\": \"mac3d-run-report/2\"", 0), 0u)
       << json;
   EXPECT_NE(json.find("\"workload\": \"sg\""), std::string::npos);
   EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);

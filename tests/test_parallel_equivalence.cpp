@@ -14,6 +14,7 @@
 #include "check/check.hpp"
 #include "common/config.hpp"
 #include "common/rng.hpp"
+#include "obs/registry.hpp"
 #include "obs/run_report.hpp"
 #include "sim/driver.hpp"
 #include "trace/trace.hpp"
@@ -187,6 +188,32 @@ TEST(SystemEquivalence, RunParallelMatchesRunAcrossThreadCounts) {
     EXPECT_EQ(expected.stats.to_json(), actual.stats.to_json())
         << threads << " threads";
   }
+}
+
+TEST(SystemEquivalence, MetricsRegistryExportsAreByteIdentical) {
+  SimConfig config;
+  config.nodes = 4;
+  config.cores = 2;
+  const MemoryTrace trace = locality_trace(0.5, 8, 200, 61);
+
+  const auto export_metrics = [&](bool parallel) {
+    System system(config);
+    MetricsRegistry registry;
+    system.attach_metrics(&registry);
+    system.attach_trace(trace);
+    const SystemRunSummary summary =
+        parallel ? system.run_parallel(4) : system.run();
+    EXPECT_TRUE(summary.completed);
+    return registry.to_json();
+  };
+
+  const std::string serial = export_metrics(false);
+  const std::string parallel = export_metrics(true);
+  EXPECT_EQ(serial, parallel);
+  // Non-trivial export: per-node and fabric namespaces are populated.
+  EXPECT_NE(serial.find("node3.router.routed"), std::string::npos);
+  EXPECT_NE(serial.find("fabric.link01.requests"), std::string::npos);
+  EXPECT_NE(serial.find("system.cycles"), std::string::npos);
 }
 
 TEST(SystemEquivalence, SingleNodeNeedsNoFabricAndStillMatches) {

@@ -1,0 +1,183 @@
+// Report schema versioning and the regression-diff tool (src/obs/
+// report_diff.*, docs/OBSERVABILITY.md §report-diff):
+//  * the flattening parser reads both schema /1 (legacy) and /2 reports;
+//  * a /2 report round-trips through the differ with a zero self-diff;
+//  * tolerance gating fires on a perturbed metric and stays quiet inside
+//    the tolerance band;
+//  * the CLI entry point returns the documented exit codes (0 in
+//    tolerance, 1 regression, 2 usage/IO/parse trouble).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "obs/report_diff.hpp"
+#include "obs/run_report.hpp"
+
+namespace mac3d {
+namespace {
+
+/// A representative /2 report: headline numbers, config, metrics-free.
+RunReport sample_report() {
+  RunReport report;
+  report.set_string("workload", "sg");
+  report.set_number("threads", 8);
+  report.set_number("cycles", 123456);
+  report.set_number("wall_seconds", 1.25);
+  SimConfig config;
+  report.set_config(config);
+  StatSet stats;
+  stats.set("mac.packets", 1024);
+  stats.set("mac.avg_latency", 87.5);
+  report.set_path_stats("mac", stats);
+  return report;
+}
+
+std::string write_temp(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+TEST(ReportParse, ReadsSchemaV2AndFlattensNestedSections) {
+  FlatReport flat;
+  std::string error;
+  ASSERT_TRUE(parse_report(sample_report().to_json(), flat, error)) << error;
+  EXPECT_EQ(flat.schema, "mac3d-run-report/2");
+  EXPECT_DOUBLE_EQ(flat.numbers.at("cycles"), 123456.0);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("paths.mac.stats.mac.packets"), 1024.0);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("paths.mac.stats.mac.avg_latency"), 87.5);
+  EXPECT_EQ(flat.strings.at("workload"), "sg");
+  // Config numbers flatten under "config." and are diffable too.
+  EXPECT_GT(flat.numbers.count("config.row_bytes"), 0u);
+}
+
+TEST(ReportParse, ReadsLegacySchemaV1Reports) {
+  // A hand-built /1 document, as written by pre-/2 releases: same shape,
+  // older schema tag, no "metrics" section.
+  const std::string v1 =
+      "{\n  \"schema\": \"mac3d-run-report/1\",\n"
+      "  \"workload\": \"sg\",\n"
+      "  \"cycles\": 99,\n"
+      "  \"paths\": {\n    \"mac\": {\n      \"stats\": "
+      "{\"mac.packets\":7}\n    }\n  }\n}\n";
+  FlatReport flat;
+  std::string error;
+  ASSERT_TRUE(parse_report(v1, flat, error)) << error;
+  EXPECT_EQ(flat.schema, "mac3d-run-report/1");
+  EXPECT_DOUBLE_EQ(flat.numbers.at("cycles"), 99.0);
+  EXPECT_DOUBLE_EQ(flat.numbers.at("paths.mac.stats.mac.packets"), 7.0);
+}
+
+TEST(ReportParse, RejectsUnknownSchemaAndMalformedJson) {
+  FlatReport flat;
+  std::string error;
+  EXPECT_FALSE(parse_report("{\"schema\": \"mac3d-run-report/9\"}", flat,
+                            error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(parse_report("{\"cycles\": ", flat, error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(parse_report("{\"cycles\": 1}", flat, error));  // no schema
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ReportDiff, SelfDiffIsCleanAndIgnoresWallSeconds) {
+  FlatReport a;
+  FlatReport b;
+  std::string error;
+  ASSERT_TRUE(parse_report(sample_report().to_json(), a, error)) << error;
+  ASSERT_TRUE(parse_report(sample_report().to_json(), b, error)) << error;
+  b.numbers["wall_seconds"] = 99.0;  // timing noise must never gate
+
+  const DiffResult result = diff_reports(a, b, DiffOptions{});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.out_of_tolerance, 0u);
+  EXPECT_TRUE(result.deltas.empty());
+  EXPECT_GT(result.compared, 0u);
+}
+
+TEST(ReportDiff, ToleranceGatesAPerturbedMetric) {
+  FlatReport a;
+  FlatReport b;
+  std::string error;
+  ASSERT_TRUE(parse_report(sample_report().to_json(), a, error)) << error;
+  ASSERT_TRUE(parse_report(sample_report().to_json(), b, error)) << error;
+  b.numbers["paths.mac.stats.mac.packets"] = 1024.0 * 1.05;  // +5%
+
+  DiffOptions tight;
+  tight.tolerance_pct = 2.0;
+  const DiffResult fails = diff_reports(a, b, tight);
+  EXPECT_FALSE(fails.ok());
+  EXPECT_EQ(fails.out_of_tolerance, 1u);
+  ASSERT_EQ(fails.deltas.size(), 1u);
+  EXPECT_EQ(fails.deltas[0].path, "paths.mac.stats.mac.packets");
+  EXPECT_TRUE(fails.deltas[0].out_of_tolerance);
+  // The rendered table flags the offender.
+  const std::string table = render_diff(fails, tight);
+  EXPECT_NE(table.find("paths.mac.stats.mac.packets"), std::string::npos);
+  EXPECT_NE(table.find("!"), std::string::npos);
+
+  DiffOptions loose;
+  loose.tolerance_pct = 10.0;
+  const DiffResult passes = diff_reports(a, b, loose);
+  EXPECT_TRUE(passes.ok());
+  EXPECT_EQ(passes.out_of_tolerance, 0u);
+  ASSERT_EQ(passes.deltas.size(), 1u);  // reported, but inside the band
+  EXPECT_FALSE(passes.deltas[0].out_of_tolerance);
+}
+
+TEST(ReportDiff, MissingMetricsGateUnlessAllowed) {
+  FlatReport a;
+  FlatReport b;
+  std::string error;
+  ASSERT_TRUE(parse_report(sample_report().to_json(), a, error)) << error;
+  ASSERT_TRUE(parse_report(sample_report().to_json(), b, error)) << error;
+  b.numbers.erase("cycles");
+  b.numbers["brand_new_metric"] = 1.0;
+
+  DiffOptions strict;
+  const DiffResult gated = diff_reports(a, b, strict);
+  EXPECT_FALSE(gated.ok());
+
+  DiffOptions relaxed;
+  relaxed.fail_on_missing = false;  // bench --baseline: baselines age
+  const DiffResult allowed = diff_reports(a, b, relaxed);
+  EXPECT_TRUE(allowed.ok());
+}
+
+TEST(ReportDiffCli, ExitCodesMatchTheContract) {
+  const std::string report_json = sample_report().to_json();
+  const std::string old_path = write_temp("rd_old.json", report_json);
+  const std::string new_path = write_temp("rd_new.json", report_json);
+  // Self-diff: clean exit.
+  EXPECT_EQ(run_report_diff(old_path, new_path, DiffOptions{}), 0);
+
+  // Perturb a real metric beyond tolerance: regression exit.
+  RunReport perturbed = sample_report();
+  perturbed.set_number("cycles", 123456 * 2);
+  const std::string bad_path =
+      write_temp("rd_bad.json", perturbed.to_json());
+  DiffOptions tolerant;
+  tolerant.tolerance_pct = 5.0;
+  EXPECT_EQ(run_report_diff(old_path, bad_path, tolerant), 1);
+
+  // Unreadable / unparsable input: usage exit.
+  EXPECT_EQ(run_report_diff(old_path, ::testing::TempDir() + "rd_absent.json",
+                            DiffOptions{}),
+            2);
+  const std::string junk_path = write_temp("rd_junk.json", "not json");
+  EXPECT_EQ(run_report_diff(old_path, junk_path, DiffOptions{}), 2);
+
+  for (const std::string& p : {old_path, new_path, bad_path, junk_path}) {
+    std::remove(p.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace mac3d
