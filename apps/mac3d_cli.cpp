@@ -21,6 +21,7 @@
 
 #include "arch/system.hpp"
 #include "check/check.hpp"
+#include "lint/lint.hpp"
 #include "obs/lifecycle.hpp"
 #include "obs/registry.hpp"
 #include "obs/report_diff.hpp"
@@ -67,6 +68,8 @@ void usage() {
                "usage: mac3d <run|suite|system|trace|list|config> [options]\n"
                "       mac3d report-diff OLD NEW [--tolerance PCT] "
                "[--ignore PATH] [--allow-missing]\n"
+               "       mac3d lint [--root DIR] [--baseline FILE] "
+               "[--sarif FILE] [--write-baseline FILE] [--list-rules]\n"
                "  --workload NAME   workload to trace (default sg)\n"
                "  --trace FILE      replay a saved trace instead\n"
                "  --out FILE        output trace file (trace command)\n"
@@ -597,6 +600,41 @@ int cmd_report_diff(int argc, char** argv) {
   return run_report_diff(files[0], files[1], diff);
 }
 
+/// `mac3d lint [--root DIR] [--baseline FILE] [--sarif FILE]
+/// [--write-baseline FILE] [--list-rules]`: like report-diff, its flags
+/// don't fit the common parser, so it parses argv itself
+/// (docs/STATIC_ANALYSIS.md).
+int cmd_lint(int argc, char** argv) {
+  lint::LintCliOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      options.root = value();
+    } else if (arg == "--baseline") {
+      options.baseline = value();
+    } else if (arg == "--sarif") {
+      options.sarif = value();
+    } else if (arg == "--write-baseline") {
+      options.write_baseline = value();
+    } else if (arg == "--list-rules") {
+      options.list_rules = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: mac3d lint [--root DIR] [--baseline FILE] "
+                   "[--sarif FILE] [--write-baseline FILE] [--list-rules]\n");
+      return 2;
+    }
+  }
+  return lint::run_lint_cli(options);
+}
+
 int cmd_trace(const CliOptions& options) {
   const SimConfig config = make_config(options);
   const MemoryTrace trace = make_trace(options, config);
@@ -629,6 +667,9 @@ int cmd_config(const CliOptions& options) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "report-diff") == 0) {
     return cmd_report_diff(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "lint") == 0) {
+    return cmd_lint(argc, argv);
   }
   const std::optional<CliOptions> options = parse(argc, argv);
   if (!options) {

@@ -14,7 +14,7 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <map>
 
 #include "check/check.hpp"
 #include "common/types.hpp"
@@ -58,7 +58,10 @@ class ConservationChecker {
   CheckContext* context_;
   std::string scope_;
   std::uint64_t next_seq_ = 0;
-  std::unordered_map<std::uint32_t, Pending> in_flight_;
+  // std::map, not unordered: the fence-ordering walk and finalize() both
+  // iterate this, and the first match chosen (= the failure detail the
+  // user sees) must not depend on hash order.
+  std::map<std::uint32_t, Pending> in_flight_;
 };
 
 }  // namespace mac3d

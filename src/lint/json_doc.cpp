@@ -1,0 +1,224 @@
+#include "lint/json_doc.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace mac3d::lint {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, JsonValue& out) : text_(text), out_(out) {}
+
+  bool run(std::string& error) {
+    if (!value(out_, 0)) {
+      error = error_.empty() ? message("invalid JSON") : error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = message("trailing content after document");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[nodiscard]] std::string message(const std::string& what) const {
+    std::ostringstream out;
+    out << what << " at byte " << pos_;
+    return out.str();
+  }
+
+  void fail(const std::string& what) {
+    if (error_.empty()) error_ = message(what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object(out, depth);
+    if (c == '[') return array(out, depth);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string(out.string);
+    }
+    if (literal("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return number(out);
+  }
+
+  bool object(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // {
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !string(key)) {
+        fail("expected object key");
+        return false;
+      }
+      if (!consume(':')) {
+        fail("expected ':'");
+        return false;
+      }
+      JsonValue member;
+      if (!value(member, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(member));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      fail("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool array(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // [
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue item;
+      if (!value(item, depth + 1)) return false;
+      out.items.push_back(std::move(item));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) break;
+        const char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            const std::string hex(text_.substr(pos_, 4));
+            pos_ += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            // Lint inputs are ASCII; fold non-ASCII escapes to '?'.
+            out += code >= 0x20 && code < 0x7f ? static_cast<char>(code)
+                                               : '?';
+            break;
+          }
+          default:
+            fail("unknown escape");
+            return false;
+        }
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("invalid value");
+      return false;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("invalid number");
+      return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = parsed;
+    return true;
+  }
+
+  std::string_view text_;
+  JsonValue& out_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool parse_json(std::string_view text, JsonValue& out, std::string& error) {
+  return Parser(text, out).run(error);
+}
+
+}  // namespace mac3d::lint

@@ -1,0 +1,84 @@
+// Internal interface between the lint engine (lint.cpp) and the rule
+// catalog (rules.cpp). Modeled on the src/check/ invariant-catalog split:
+// lint.hpp is the public surface, this header carries the repo model the
+// rules consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/lint.hpp"
+
+namespace mac3d::lint {
+
+/// One lexed translation unit (root-relative path, '/' separators).
+struct FileTokens {
+  std::string path;
+  std::vector<Token> tokens;
+};
+
+/// Machine-readable metric-name grammar (docs/metrics_schema.json).
+/// Placeholders in angle brackets (`<i>`, `<S>`, `<D>`) match one or more
+/// decimal digits when a concrete name is tested against a pattern.
+struct MetricsSchema {
+  struct Family {
+    std::string doc;     ///< namespace text as documented, e.g. "system.*"
+    std::string prefix;  ///< dotted prefix, e.g. "node<i>.router"
+    std::vector<std::string> names;  ///< leaf names ([] = prefix is a leaf)
+  };
+
+  bool present = false;  ///< docs/metrics_schema.json exists
+  bool valid = false;    ///< parsed and structurally sound
+  std::string error;     ///< why valid is false
+  std::vector<Family> families;
+
+  /// Every concrete metric pattern ("node<i>.router.routed", ...).
+  [[nodiscard]] std::vector<std::string> patterns() const;
+};
+
+/// Everything the rules need to see: the lexed source tree plus the
+/// cross-file artifacts the SYNC/OBS rules reconcile.
+struct RepoModel {
+  std::string root;
+  std::vector<FileTokens> files;  ///< src/** + apps/**, sorted by path
+
+  std::vector<std::string> stage_names;  ///< from src/obs/obs.hpp
+  long stage_count = -1;                 ///< kStageCount value (-1 unknown)
+
+  MetricsSchema schema;
+
+  bool obs_doc_present = false;
+  std::string obs_doc;  ///< docs/OBSERVABILITY.md text
+  bool inv_doc_present = false;
+  std::string inv_doc;  ///< docs/INVARIANTS.md text
+  bool inv_header_present = false;
+  std::vector<Token> inv_header;  ///< src/check/invariants.hpp tokens
+};
+
+/// Match a concrete dotted name against a schema pattern (placeholders in
+/// angle brackets consume one-or-more digits).
+[[nodiscard]] bool pattern_match(std::string_view pattern,
+                                 std::string_view name);
+
+/// Parse the canonical stage-name list out of the lexed obs header (the
+/// string literals of `to_string(Stage)`'s case arms).
+[[nodiscard]] std::vector<std::string> taxonomy_from_obs_header(
+    const std::vector<Token>& tokens);
+
+/// Parse the `kStageCount = N` constant (-1 when absent).
+[[nodiscard]] long count_from_obs_header(const std::vector<Token>& tokens);
+
+/// Build a MetricsSchema from the JSON text (present=false when the file
+/// was missing, in which case `text` is ignored).
+[[nodiscard]] MetricsSchema parse_metrics_schema(const std::string& text,
+                                                 bool present);
+
+/// Run the per-file rules (DET + path-scoped OBS rules) over one file.
+void run_file_rules(const RepoModel& model, const FileTokens& file,
+                    std::vector<Finding>& out);
+
+/// Run the repo-level rules (SYNC family).
+void run_repo_rules(const RepoModel& model, std::vector<Finding>& out);
+
+}  // namespace mac3d::lint

@@ -39,7 +39,7 @@ Arq::InsertResult Arq::insert(const RawRequest& request, Cycle now,
     fence.is_fence = true;
     fence.bypass = true;
     fence.allocated_at = now;
-    fence.targets.push_back(Target{request.tid, request.tag, 0});
+    fence.targets.emplace_back(request.tid, request.tag, 0);
     entries_.push_back(std::move(fence));
     ++fence_count_;
     ++stats_.inserted;

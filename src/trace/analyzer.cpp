@@ -1,6 +1,6 @@
 #include "trace/analyzer.hpp"
 
-#include <unordered_map>
+#include <map>
 #include <unordered_set>
 
 #include "mem/address_map.hpp"
@@ -29,7 +29,10 @@ TraceProfile analyze(const MemoryTrace& trace, const SimConfig& config,
   InterleavedStream stream(trace, threads, config.cores);
 
   // Per-window bookkeeping: row|type -> distinct FLIT set size.
-  std::unordered_map<std::uint64_t, std::uint64_t> groups;  // key -> flitmask
+  // std::map, not unordered: flush_window iterates it, and hash order
+  // would make the per-window accumulation order host-dependent
+  // (det.unordered_iteration).
+  std::map<std::uint64_t, std::uint64_t> groups;  // key -> flitmask
   std::uint64_t window_fill = 0;
   std::uint64_t total_groups = 0;
   std::uint64_t total_flits_in_groups = 0;

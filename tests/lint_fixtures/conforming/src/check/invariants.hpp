@@ -1,0 +1,14 @@
+// Fixture invariant catalog: the one registered id is documented.
+#pragma once
+
+namespace mini {
+
+struct Invariant {
+  const char* id;
+  const char* summary;
+};
+
+inline constexpr Invariant kMatched{"demo.matched",
+                                    "registered and documented"};
+
+}  // namespace mini

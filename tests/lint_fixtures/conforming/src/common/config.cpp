@@ -1,0 +1,9 @@
+// Conforming counterpart to reads_env: the config layer is the one
+// place allowed to read the environment.
+#include <cstdlib>
+
+namespace mini {
+
+const char* config_override(const char* name) { return std::getenv(name); }
+
+}  // namespace mini

@@ -1,0 +1,19 @@
+// Fixture taxonomy header: three stages, count and docs both agree.
+#pragma once
+
+namespace mini {
+
+enum class Stage { kCoreIssue, kMerge, kBankAccess };
+
+inline constexpr int kStageCount = 3;
+
+inline const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kCoreIssue: return "core_issue";
+    case Stage::kMerge: return "merge";
+    case Stage::kBankAccess: return "bank_access";
+  }
+  return "?";
+}
+
+}  // namespace mini

@@ -1,0 +1,20 @@
+// Conforming counterpart to uses_rand/uses_wall_clock/static_local: a
+// seeded house generator, cycle-derived time, and hoisted state.
+namespace mini {
+
+struct Rng {
+  unsigned long long state;
+  unsigned long long next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state;
+  }
+};
+
+struct Component {
+  int calls = 0;
+  long long now_cycles = 0;
+  int bump() { return ++calls; }
+  long long stamp() const { return now_cycles; }
+};
+
+}  // namespace mini

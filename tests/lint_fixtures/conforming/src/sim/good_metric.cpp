@@ -1,0 +1,16 @@
+// Conforming counterpart to bad_metric: full names and concatenation
+// fragments that parse against docs/metrics_schema.json.
+#include <string>
+
+namespace mini {
+
+struct Registry {
+  long& counter(const std::string& name);
+};
+
+void meter(Registry& registry, const std::string& prefix) {
+  registry.counter("system.cycles") += 1;
+  registry.counter(prefix + ".cycles") += 1;
+}
+
+}  // namespace mini

@@ -1,0 +1,10 @@
+// Conforming counterpart to bad_stage: the literal is a taxonomy member.
+namespace mini {
+
+struct Tracer {
+  void add_stage(const char* stage);
+};
+
+void record(Tracer& tracer) { tracer.add_stage("merge"); }
+
+}  // namespace mini

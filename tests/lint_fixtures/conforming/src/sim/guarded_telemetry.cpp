@@ -1,0 +1,29 @@
+// Conforming counterpart to naked_stamp/naked_check: the same call
+// shapes are legal inside compile-out regions.
+#define MAC3D_OBS_ENABLED 1
+#define MAC3D_CHECKS_ENABLED 1
+
+namespace mini {
+
+struct Sink {
+  void on_stage(int request, int cycle);
+  void on_merge(int request, int cycle);
+};
+
+struct Context {
+  void count_check();
+  void fail(int invariant, long cycle, const char* detail);
+};
+
+void trace(Sink& sink, Context& context, bool broken) {
+#if MAC3D_OBS_ENABLED
+  sink.on_stage(1, 2);
+  sink.on_merge(1, 3);
+#endif
+#if MAC3D_CHECKS_ENABLED
+  context.count_check();
+  if (broken) context.fail(1, 99, "broken");
+#endif
+}
+
+}  // namespace mini

@@ -1,0 +1,19 @@
+// Conforming counterpart to iterates_unordered: ordered containers and
+// point lookups into unordered ones are both fine.
+#include <map>
+#include <unordered_map>
+
+namespace mini {
+
+int sum_values(const std::map<int, int>& table,
+               const std::unordered_map<int, int>& index) {
+  int total = 0;
+  for (const auto& [key, value] : table) {
+    total += key + value;
+  }
+  const auto it = index.find(3);
+  if (it != index.end()) total += it->second;
+  return total;
+}
+
+}  // namespace mini

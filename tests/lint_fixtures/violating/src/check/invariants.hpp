@@ -1,0 +1,15 @@
+// Fixture invariant catalog: registers an id the doc does not mention
+// (sync.invariant_ids must flag both directions).
+#pragma once
+
+namespace mini {
+
+struct Invariant {
+  const char* id;
+  const char* summary;
+};
+
+inline constexpr Invariant kOnlyInCode{"demo.only_in_code",
+                                       "registered but undocumented"};
+
+}  // namespace mini

@@ -1,0 +1,20 @@
+// Fixture taxonomy header: three stages defined, but kStageCount says 4
+// (sync.stage_docs must flag the mismatch).
+#pragma once
+
+namespace mini {
+
+enum class Stage { kCoreIssue, kMerge, kBankAccess };
+
+inline constexpr int kStageCount = 4;
+
+inline const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kCoreIssue: return "core_issue";
+    case Stage::kMerge: return "merge";
+    case Stage::kBankAccess: return "bank_access";
+  }
+  return "?";
+}
+
+}  // namespace mini

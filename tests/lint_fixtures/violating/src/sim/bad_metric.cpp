@@ -1,0 +1,17 @@
+// obs.metric_name_grammar: literals that do not parse against the
+// fixture's docs/metrics_schema.json.
+#include <string>
+
+namespace mini {
+
+struct Registry {
+  long& counter(const std::string& name);
+  long& gauge(const std::string& name);
+};
+
+void meter(Registry& registry, const std::string& prefix) {
+  registry.counter("system.unknown_counter") += 1;
+  registry.gauge(prefix + ".bogus") += 1;
+}
+
+}  // namespace mini

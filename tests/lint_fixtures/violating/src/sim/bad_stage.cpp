@@ -1,0 +1,10 @@
+// obs.stage_taxonomy: a stage-name literal that is not a taxonomy member.
+namespace mini {
+
+struct Tracer {
+  void add_stage(const char* stage);
+};
+
+void record(Tracer& tracer) { tracer.add_stage("not_a_stage"); }
+
+}  // namespace mini

@@ -1,0 +1,17 @@
+// det.unordered_iteration: range-for and an explicit iterator walk over
+// hash-ordered containers.
+#include <unordered_map>
+
+namespace mini {
+
+int sum_values(const std::unordered_map<int, int>& table) {
+  int total = 0;
+  for (const auto& [key, value] : table) {
+    total += key + value;
+  }
+  auto it = table.begin();
+  if (it != table.end()) total += it->second;
+  return total;
+}
+
+}  // namespace mini

@@ -1,0 +1,15 @@
+// obs.naked_check_site: CheckContext calls outside an
+// #if MAC3D_CHECKS_ENABLED region.
+namespace mini {
+
+struct Context {
+  void count_check();
+  void fail(int invariant, long cycle, const char* detail);
+};
+
+void audit(Context& context) {
+  context.count_check();
+  context.fail(1, 99, "broken");
+}
+
+}  // namespace mini

@@ -1,0 +1,15 @@
+// obs.raw_stamp_call: EventSink stamps outside an #if MAC3D_OBS_ENABLED
+// region.
+namespace mini {
+
+struct Sink {
+  void on_stage(int request, int cycle);
+  void on_merge(int request, int cycle);
+};
+
+void trace(Sink& sink) {
+  sink.on_stage(1, 2);
+  sink.on_merge(1, 3);
+}
+
+}  // namespace mini

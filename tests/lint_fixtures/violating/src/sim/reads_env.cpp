@@ -1,0 +1,8 @@
+// det.env_access: environment read outside the config layer.
+#include <cstdlib>
+
+namespace mini {
+
+bool verbose() { return std::getenv("MINI_VERBOSE") != nullptr; }
+
+}  // namespace mini

@@ -1,0 +1,9 @@
+// det.static_mutable_local: hidden cross-run state in a function.
+namespace mini {
+
+int bump() {
+  static int calls = 0;
+  return ++calls;
+}
+
+}  // namespace mini

@@ -1,0 +1,11 @@
+// det.rand_source: libc rand() and a std engine type in simulation code.
+#include <cstdlib>
+#include <random>
+
+namespace mini {
+
+int noise() { return std::rand() % 7; }
+
+std::mt19937 make_engine() { return std::mt19937{12345}; }
+
+}  // namespace mini

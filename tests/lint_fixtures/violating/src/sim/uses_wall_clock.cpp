@@ -1,0 +1,13 @@
+// det.wall_clock: host time sources in simulation code.
+#include <chrono>
+#include <ctime>
+
+namespace mini {
+
+long long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long epoch() { return static_cast<long>(std::time(nullptr)); }
+
+}  // namespace mini
