@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -22,7 +23,9 @@
 #include "arch/system.hpp"
 #include "check/check.hpp"
 #include "lint/lint.hpp"
+#include "obs/latency.hpp"
 #include "obs/lifecycle.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/report_diff.hpp"
 #include "obs/run_report.hpp"
@@ -52,6 +55,7 @@ struct CliOptions {
   bool csv = false;
   bool closed_loop = false;
   bool checks = false;
+  bool profile = false;  ///< idle-cycle census + latency/host profiling
   std::string engine = "serial";   ///< serial | parallel (per-run engine)
   std::uint32_t engine_threads = 0;  ///< 0 = hardware concurrency
   std::uint32_t jobs = 0;          ///< parallel paths/workloads (0 = env)
@@ -92,6 +96,8 @@ void usage() {
                "thread (0 = 64 K)\n"
                "  --checks          run model-invariant checks "
                "(docs/INVARIANTS.md)\n"
+               "  --profile         idle-cycle census, per-stage residency "
+               "and host wall-clock\n"
                "  --csv             machine-readable output\n"
                "  --trace-events F  write Chrome/Perfetto trace-event JSON "
                "(docs/OBSERVABILITY.md)\n"
@@ -146,6 +152,8 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       options.closed_loop = true;
     } else if (arg == "--checks") {
       options.checks = true;
+    } else if (arg == "--profile") {
+      options.profile = true;
     } else if (arg == "--engine") {
       options.engine = value();
       if (options.engine != "serial" && options.engine != "parallel") {
@@ -235,7 +243,7 @@ int cmd_run(const CliOptions& options) {
   const bool want_sampler =
       options.sample_every > 0 || !options.sample_out.empty();
 #if !MAC3D_OBS_ENABLED
-  if (want_tracer || want_sampler) {
+  if (want_tracer || want_sampler || options.profile) {
     std::fprintf(stderr,
                  "mac3d: warning: built with -DMAC3D_OBS=OFF; telemetry "
                  "options will record nothing\n");
@@ -251,6 +259,26 @@ int cmd_run(const CliOptions& options) {
   CycleSampler sampler(options.sample_every == 0 ? 64 : options.sample_every);
   if (want_tracer) drive.sink = &tracer;
   if (want_sampler) drive.sampler = &sampler;
+
+  // --profile (docs/OBSERVABILITY.md §profiler): one census and one
+  // latency decomposer per path (the driver seals each census at the end
+  // of its run), one host profiler shared across the whole invocation.
+  // The decomposer tees every event into the tracer, so --profile and
+  // --trace-events/--report compose.
+  std::vector<ActivityCensus> censuses;
+  std::vector<std::unique_ptr<LatencyDecomposer>> decomposers;
+  HostProfiler profiler;
+  if (options.profile) {
+    censuses.resize(options.paths.size());
+    for (std::size_t i = 0; i < options.paths.size(); ++i) {
+      decomposers.push_back(std::make_unique<LatencyDecomposer>(
+          want_tracer ? &tracer : nullptr));
+      if (!options.trace_events.empty()) {
+        decomposers.back()->attach_trace(&tracer);
+      }
+    }
+    drive.profiler = &profiler;
+  }
 
   for (const std::string& path : options.paths) {
     if (path != "raw" && path != "mac" && path != "mshr") {
@@ -274,13 +302,18 @@ int cmd_run(const CliOptions& options) {
   // state forces the one-at-a-time schedule (docs/PARALLELISM.md).
   const std::uint32_t jobs =
       options.jobs == 0 ? ParallelStepper::env_jobs(1) : options.jobs;
-  const bool hooks_attached = options.checks || want_tracer || want_sampler;
+  const bool hooks_attached =
+      options.checks || want_tracer || want_sampler || options.profile;
   if (jobs > 1 && !hooks_attached && options.paths.size() > 1) {
     ParallelStepper stepper(jobs);
     stepper.for_shards(options.paths.size(), run_path);
   } else {
     for (std::size_t i = 0; i < options.paths.size(); ++i) {
       if (want_tracer) tracer.begin_path(options.paths[i]);
+      if (options.profile) {
+        drive.sink = decomposers[i].get();
+        drive.census = &censuses[i];
+      }
       run_path(i);
     }
   }
@@ -338,6 +371,20 @@ int cmd_run(const CliOptions& options) {
                               telemetry->stage_latency[s]);
       }
     }
+    if (options.profile) {
+      // Keyed per path, like the "paths" section. The census export is
+      // printed (and traced) but deliberately not folded into the report:
+      // the `node0.*` namespaces from multiple paths would collide.
+      std::string latency_json = "{";
+      for (std::size_t i = 0; i < options.paths.size(); ++i) {
+        if (i != 0) latency_json += ",";
+        latency_json += "\"" + options.paths[i] +
+                        "\":" + decomposers[i]->to_json();
+      }
+      latency_json += "}";
+      report.set_latency(std::move(latency_json));
+      report.set_host(profiler.to_json());
+    }
     if (!report.write(options.report_path)) {
       std::fprintf(stderr, "mac3d: cannot write %s\n",
                    options.report_path.c_str());
@@ -374,6 +421,18 @@ int cmd_run(const CliOptions& options) {
          Table::count(result.makespan) + " cy"});
   }
   table.print();
+  if (options.profile) {
+    for (std::size_t i = 0; i < options.paths.size(); ++i) {
+      std::printf("\n[%s] idle-cycle census (dead time %.1f%%)\n%s",
+                  options.paths[i].c_str(),
+                  100.0 * censuses[i].dead_time_fraction(),
+                  censuses[i].to_table().c_str());
+      std::printf("\n[%s] per-stage residency\n%s", options.paths[i].c_str(),
+                  decomposers[i]->to_table().c_str());
+    }
+    std::printf("\nhost wall-clock attribution\n%s",
+                profiler.to_table().c_str());
+  }
   if (results.size() >= 2 && results[0].path == "raw") {
     for (std::size_t i = 1; i < results.size(); ++i) {
       std::printf("memory speedup %s vs raw: %s\n",
@@ -453,7 +512,8 @@ int cmd_system(const CliOptions& options) {
   const bool want_sampler =
       options.sample_every > 0 || !options.sample_out.empty();
 #if !MAC3D_OBS_ENABLED
-  if (want_tracer || want_sampler || !options.report_path.empty()) {
+  if (want_tracer || want_sampler || options.profile ||
+      !options.report_path.empty()) {
     std::fprintf(stderr,
                  "mac3d: warning: built with -DMAC3D_OBS=OFF; telemetry "
                  "options will record nothing\n");
@@ -468,9 +528,21 @@ int cmd_system(const CliOptions& options) {
   }
   CycleSampler sampler(options.sample_every == 0 ? 64 : options.sample_every);
   MetricsRegistry registry;
+  ActivityCensus census;
+  HostProfiler profiler;
+  LatencyDecomposer decomposer(want_tracer ? &tracer : nullptr);
   if (want_tracer) {
     tracer.begin_path("system");
     system.attach_sink(&tracer);
+  }
+  if (options.profile) {
+    // The decomposer tees into the tracer, so it replaces it as the
+    // system sink. The census export lands in the metrics registry at
+    // end of run (System::finalize_metrics).
+    if (!options.trace_events.empty()) decomposer.attach_trace(&tracer);
+    system.attach_sink(&decomposer);
+    system.attach_census(&census);
+    system.attach_profiler(&profiler);
   }
   if (want_sampler) system.attach_sampler(&sampler);
   if (!options.report_path.empty()) system.attach_metrics(&registry);
@@ -479,6 +551,7 @@ int cmd_system(const CliOptions& options) {
       options.engine == "parallel"
           ? system.run_parallel(options.engine_threads)
           : system.run();
+  census.seal();  // probes reference nodes owned by `system`
   tracer.finish();
   if (options.checks) checks.finalize();
 
@@ -533,6 +606,10 @@ int cmd_system(const CliOptions& options) {
                               telemetry->stage_latency[s]);
       }
     }
+    if (options.profile) {
+      report.set_latency("{\"system\":" + decomposer.to_json() + "}");
+      report.set_host(profiler.to_json());
+    }
     if (!report.write(options.report_path)) {
       std::fprintf(stderr, "mac3d: cannot write %s\n",
                    options.report_path.c_str());
@@ -556,6 +633,14 @@ int cmd_system(const CliOptions& options) {
       summary.completed ? "" : " (cycle limit hit)",
       Table::count(summary.requests).c_str(),
       Table::count(summary.completions).c_str(), summary.avg_latency_cycles);
+  if (options.profile) {
+    std::printf("\nidle-cycle census (dead time %.1f%%)\n%s",
+                100.0 * census.dead_time_fraction(),
+                census.to_table().c_str());
+    std::printf("\nper-stage residency\n%s", decomposer.to_table().c_str());
+    std::printf("\nhost wall-clock attribution\n%s",
+                profiler.to_table().c_str());
+  }
   if (options.checks) {
     std::printf("\n%s", checks.report().c_str());
     return checks.violations() == 0 ? 0 : 1;

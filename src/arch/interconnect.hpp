@@ -13,6 +13,7 @@
 // node `n` only ever pops its own lanes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -41,6 +42,7 @@ class Interconnect {
   /// order.
   void send_request(const RawRequest& request, NodeId dest, Cycle now,
                     NodeId src = 0) {
+    MAC3D_OBS_ACTIVITY(last_work_, now);
     if (staged_) {
       outboxes_.at(src).requests.push_back({dest, now + hop_cycles_, request});
       return;
@@ -54,6 +56,7 @@ class Interconnect {
 
   void send_completion(const CompletedAccess& completion, NodeId dest,
                        Cycle now, NodeId src = 0) {
+    MAC3D_OBS_ACTIVITY(last_work_, now);
     if (staged_) {
       outboxes_.at(src).completions.push_back(
           {dest, now + hop_cycles_, completion});
@@ -70,10 +73,29 @@ class Interconnect {
   /// Pop all requests due at or before `now` destined to `dest` (FIFO).
   /// During the parallel phase only node `dest`'s shard may call this.
   std::vector<RawRequest> deliver_requests(NodeId dest, Cycle now) {
-    return deliver(request_lanes_.at(dest), now);
+    std::vector<RawRequest> out = deliver(request_lanes_.at(dest), now);
+    if (!out.empty()) MAC3D_OBS_ACTIVITY(last_work_, now);
+    return out;
   }
   std::vector<CompletedAccess> deliver_completions(NodeId dest, Cycle now) {
-    return deliver(completion_lanes_.at(dest), now);
+    std::vector<CompletedAccess> out = deliver(completion_lanes_.at(dest), now);
+    if (!out.empty()) MAC3D_OBS_ACTIVITY(last_work_, now);
+    return out;
+  }
+
+  // ---- Activity oracle (idle-cycle census, docs/OBSERVABILITY.md) --------
+  /// Stamped at sends and non-empty deliveries. The fabric is the one
+  /// component shards share during the parallel phase, so — unlike the
+  /// shard-confined slots — this one is atomic; concurrent writers all
+  /// store the same `now`, and the census reads only at serial points.
+  [[nodiscard]] bool did_work_this_cycle(Cycle now) const noexcept {
+    return last_work_.load(std::memory_order_relaxed) == now;
+  }
+  /// Earliest pending delivery (0 = drained) — the event-driven engine's
+  /// wake-up oracle for the fabric.
+  [[nodiscard]] Cycle next_activity_cycle(Cycle now) const noexcept {
+    (void)now;
+    return next_delivery();
   }
 
   // ---- Staged (parallel-engine) mode — docs/PARALLELISM.md ---------------
@@ -279,6 +301,7 @@ class Interconnect {
   std::vector<Outbox> outboxes_;
   bool staged_ = false;
   bool drop_next_ = false;
+  std::atomic<Cycle> last_work_{~Cycle{0}};  ///< census slot (see oracle)
   CheckContext* checks_ = nullptr;
   std::vector<MetricCounter*> link_requests_;
   std::vector<MetricCounter*> link_completions_;

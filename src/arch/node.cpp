@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 
 namespace mac3d {
 
@@ -48,6 +49,22 @@ void Node::attach_metrics(MetricsRegistry* registry) {
                                                          ".completions");
 }
 
+void Node::attach_census(ActivityCensus& census) {
+  const std::string prefix = "node" + std::to_string(id_) + ".";
+  census.add_component(prefix + "router", *router_);
+  census.add_component(prefix + "mac", *mac_);
+  census.add_component(prefix + "arq", [mac = mac_.get()](Cycle now) {
+    return mac->arq_did_work(now);
+  });
+  census.add_component(prefix + "builder", [mac = mac_.get()](Cycle now) {
+    return mac->builder_did_work(now);
+  });
+  census.add_component(prefix + "flit_table", [mac = mac_.get()](Cycle now) {
+    return mac->flit_table_did_work(now);
+  });
+  device_->register_census(census, prefix);
+}
+
 void Node::tick(Cycle now, Interconnect* fabric) {
   // 1. Interconnect arrivals.
   if (fabric != nullptr) {
@@ -61,6 +78,8 @@ void Node::tick(Cycle now, Interconnect* fabric) {
     for (std::size_t i = 0; i < pending_remote_.size(); ++i) {
       if (!router_->route_remote(pending_remote_[i])) {
         pending_remote_[kept++] = pending_remote_[i];
+      } else {
+        router_->note_work(now);  // census: route_remote has no cycle param
       }
     }
     pending_remote_.resize(kept);
@@ -89,6 +108,7 @@ void Node::tick(Cycle now, Interconnect* fabric) {
   // 4. MAC intake: one raw request per cycle.
   if (router_->has_mac_request() && mac_->can_accept()) {
     mac_->accept(router_->pop_mac_request(), now);
+    router_->note_work(now);  // census: pop_mac_request has no cycle param
   }
 
   // 5. Advance the MAC / device.

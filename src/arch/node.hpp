@@ -18,6 +18,8 @@
 
 namespace mac3d {
 
+class ActivityCensus;
+
 class Node {
  public:
   /// `thread_owner`: system-wide map ThreadId -> owning node (for response
@@ -71,6 +73,13 @@ class Node {
   /// (router counters plus delivered completions). The registry must
   /// outlive the node; pass nullptr to detach.
   void attach_metrics(MetricsRegistry* registry);
+
+  /// Register this node's idle-cycle census rows under "node<id>."
+  /// (router, mac, arq, builder, flit_table, plus the device's banks /
+  /// vault<V> / link<L> units — docs/OBSERVABILITY.md §profiler). Probes
+  /// capture this node by reference: seal the census before the node is
+  /// destroyed.
+  void attach_census(ActivityCensus& census);
 
  private:
   void dispatch_completion(const CompletedAccess& completion, Cycle now,

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "sim/parallel.hpp"
 
 namespace mac3d {
@@ -32,6 +33,13 @@ void System::attach_metrics(MetricsRegistry* registry) {
   registry_ = registry;
   for (const auto& node : nodes_) node->attach_metrics(registry);
   fabric_->attach_metrics(registry);
+}
+
+void System::attach_census(ActivityCensus* census) {
+  census_ = census;
+  if (census == nullptr) return;
+  for (const auto& node : nodes_) node->attach_census(*census);
+  if (nodes_.size() > 1) census->add_component("fabric", *fabric_);
 }
 
 void System::register_probes() {
@@ -73,6 +81,7 @@ void System::finalize_metrics(const SystemRunSummary& summary) {
   registry_->gauge("system.cycles").set(static_cast<double>(summary.cycles));
   registry_->gauge("system.avg_request_latency_cycles")
       .set(summary.avg_latency_cycles);
+  if (census_ != nullptr) census_->export_metrics(*registry_);
 }
 
 void System::attach_trace(const MemoryTrace& trace) {
@@ -98,8 +107,18 @@ SystemRunSummary System::run(Cycle max_cycles) {
   Cycle now = 0;
   try {
     for (; now < max_cycles; ++now) {
-      for (auto& node : nodes_) node->tick(now, fabric);
-      if (sampler_ != nullptr) sampler_->advance_to(now);
+      {
+        HostProfiler::Scope scope(profiler_, HostPhase::kTick);
+        for (auto& node : nodes_) node->tick(now, fabric);
+      }
+      if (census_ != nullptr) {
+        HostProfiler::Scope scope(profiler_, HostPhase::kTelemetry);
+        census_->observe(now);
+      }
+      if (sampler_ != nullptr) {
+        HostProfiler::Scope scope(profiler_, HostPhase::kSampler);
+        sampler_->advance_to(now);
+      }
 
       bool drained = fabric == nullptr || fabric->idle();
       if (drained) {
@@ -137,6 +156,8 @@ SystemRunSummary System::run_parallel(std::uint32_t threads,
   }
   Interconnect* fabric = nodes_.size() > 1 ? fabric_.get() : nullptr;
   ParallelStepper stepper(threads);
+  stepper.attach_profiler(profiler_);
+  if (profiler_ != nullptr) profiler_->set_worker_count(stepper.thread_count());
 
   // Per-node telemetry mailboxes: each shard stamps into its own buffer
   // during the concurrent phase; the buffers flush to the user's sink in
@@ -154,15 +175,30 @@ SystemRunSummary System::run_parallel(std::uint32_t threads,
   Cycle now = 0;
   try {
     for (; now < max_cycles; ++now) {
-      stepper.for_shards(nodes_.size(), [this, now, fabric](std::size_t i) {
-        nodes_[i]->tick(now, fabric);
-      });
-      // Barrier: cross-shard effects apply in canonical order.
-      if (fabric != nullptr) fabric->commit_staged();
-      if (sink_ != nullptr) {
-        for (BufferedSink& buffer : buffers) buffer.flush(*sink_);
+      {
+        HostProfiler::Scope scope(profiler_, HostPhase::kTick);
+        stepper.for_shards(nodes_.size(), [this, now, fabric](std::size_t i) {
+          nodes_[i]->tick(now, fabric);
+        });
       }
-      if (sampler_ != nullptr) sampler_->advance_to(now);
+      {
+        // Barrier: cross-shard effects apply in canonical order.
+        HostProfiler::Scope scope(profiler_, HostPhase::kCommit);
+        if (fabric != nullptr) fabric->commit_staged();
+        if (sink_ != nullptr) {
+          for (BufferedSink& buffer : buffers) buffer.flush(*sink_);
+        }
+      }
+      if (census_ != nullptr) {
+        // Same serial point as run(): post-barrier, pre-sampler — census
+        // exports stay byte-identical across engines.
+        HostProfiler::Scope scope(profiler_, HostPhase::kTelemetry);
+        census_->observe(now);
+      }
+      if (sampler_ != nullptr) {
+        HostProfiler::Scope scope(profiler_, HostPhase::kSampler);
+        sampler_->advance_to(now);
+      }
 
       bool drained = fabric == nullptr || fabric->idle();
       if (drained) {

@@ -18,6 +18,9 @@
 
 namespace mac3d {
 
+class ActivityCensus;
+class HostProfiler;
+
 struct SystemRunSummary {
   Cycle cycles = 0;
   bool completed = false;       ///< false when max_cycles was hit
@@ -84,6 +87,25 @@ class System {
   /// outlive the system; pass nullptr to detach.
   void attach_sampler(CycleSampler* sampler) noexcept { sampler_ = sampler; }
 
+  /// Attach an idle-cycle census (docs/OBSERVABILITY.md §profiler):
+  /// registers every node's components plus the fabric, and both engines
+  /// observe it once per cycle at the same serial point (post-barrier
+  /// under run_parallel), so census exports are engine-invariant. At
+  /// end-of-run the counts are exported into the attached metrics
+  /// registry. The census must outlive the system (its probes capture
+  /// components by reference — seal before teardown); pass nullptr to
+  /// detach future runs (registrations are not undone).
+  void attach_census(ActivityCensus* census);
+
+  /// Attach host wall-clock attribution: run()/run_parallel() time their
+  /// tick / commit / telemetry / sampler phases, and run_parallel
+  /// additionally records per-worker busy time. Host time never feeds
+  /// back into simulated time — simulated results are identical with or
+  /// without a profiler. Pass nullptr to detach.
+  void attach_profiler(HostProfiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
+
  private:
   /// Shared end-of-run accounting (node order, both engines).
   SystemRunSummary summarize(Cycle cycles, bool completed) const;
@@ -100,6 +122,8 @@ class System {
   EventSink* sink_ = nullptr;
   MetricsRegistry* registry_ = nullptr;
   CycleSampler* sampler_ = nullptr;
+  ActivityCensus* census_ = nullptr;
+  HostProfiler* profiler_ = nullptr;
 };
 
 }  // namespace mac3d

@@ -62,6 +62,7 @@ bool MshrCoalescer::intake(const RawRequest& request, Cycle now) {
     fences_.push_back({Target{request.tid, request.tag, 0}, now});
     ++barrier_pending_;
     alloc_port_used_at_ = now;
+    MAC3D_OBS_ACTIVITY(last_work_, now);
     MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag, now);
     return true;
   }
@@ -86,6 +87,7 @@ bool MshrCoalescer::intake(const RawRequest& request, Cycle now) {
     dispatch_queue_.push_back(key);
     atomic_keys_.insert(key);
     alloc_port_used_at_ = now;
+    MAC3D_OBS_ACTIVITY(last_work_, now);
     ++stats_.raw_in;
     MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag, now);
     return true;
@@ -99,6 +101,7 @@ bool MshrCoalescer::intake(const RawRequest& request, Cycle now) {
     it->second.targets.push_back(target);
     it->second.accept_cycles.push_back(now);
     merge_port_used_at_ = now;
+    MAC3D_OBS_ACTIVITY(last_work_, now);
     ++stats_.merged;
     ++stats_.raw_in;
     MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag, now);
@@ -126,6 +129,7 @@ bool MshrCoalescer::intake(const RawRequest& request, Cycle now) {
   file_.emplace(key, std::move(entry));
   dispatch_queue_.push_back(key);
   alloc_port_used_at_ = now;
+  MAC3D_OBS_ACTIVITY(last_work_, now);
   ++stats_.raw_in;
   MAC3D_CHECK(checks_, inv::kMshrOccupancy, file_.size() <= entries_, now,
               "MSHR file occupancy " + std::to_string(file_.size()) +
@@ -154,6 +158,7 @@ void MshrCoalescer::tick(Cycle now) {
     done.accepted = accepted;
     done.completed = now;
     ready_completions_.push_back(done);
+    MAC3D_OBS_ACTIVITY(last_work_, now);
   }
 
   // Dispatch one transaction per cycle.
@@ -175,6 +180,7 @@ void MshrCoalescer::tick(Cycle now) {
   device_.submit(std::move(request), now);
   entry.dispatched = true;
   dispatch_queue_.pop_front();
+  MAC3D_OBS_ACTIVITY(last_work_, now);
   ++stats_.packets_out;
 }
 
@@ -204,6 +210,7 @@ std::vector<CompletedAccess> MshrCoalescer::drain(Cycle now) {
     atomic_keys_.erase(key);
     file_.erase(it);
   }
+  if (!out.empty()) MAC3D_OBS_ACTIVITY(last_work_, now);
 #if MAC3D_OBS_ENABLED
   if (sink_ != nullptr) {
     for (const CompletedAccess& done : out) {

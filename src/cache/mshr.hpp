@@ -78,6 +78,14 @@ class MshrCoalescer {
   /// must outlive the coalescer; pass nullptr to detach.
   void attach_sink(EventSink* sink) noexcept { sink_ = sink; }
 
+  // ---- Activity oracle (idle-cycle census, docs/OBSERVABILITY.md) --------
+  [[nodiscard]] bool did_work_this_cycle(Cycle now) const noexcept {
+    return last_work_ == now;
+  }
+  [[nodiscard]] Cycle next_activity_cycle(Cycle now) const noexcept {
+    return next_event(now);
+  }
+
   /// Deliberate model bug for the invariant test suite: let the next
   /// `n` allocations ignore the entry-count capacity test, overfilling
   /// the file (mshr.occupancy_bound must fire).
@@ -116,6 +124,7 @@ class MshrCoalescer {
   std::vector<CompletedAccess> ready_completions_;
   TransactionId next_txn_ = 1;
   Cycle last_cycle_ = 0;
+  Cycle last_work_ = ~Cycle{0};  ///< census slot (MAC3D_OBS_ACTIVITY)
   MshrStats stats_;
   std::uint32_t inject_overrun_ = 0;
   CheckContext* checks_ = nullptr;

@@ -142,6 +142,10 @@ const std::set<std::string, std::less<>> kEnvCalls = {
 void det_banned_idents(const FileTokens& file, std::vector<Finding>& out) {
   const bool rng_impl = file.path == "src/common/rng.hpp";
   const bool config_layer = path_starts_with(file.path, "src/common/config.");
+  // host_now_seconds() (docs/OBSERVABILITY.md §profiler) is the one
+  // sanctioned wall-clock read: host-time attribution lives in the
+  // non-diffed `host` report section and never feeds simulated time.
+  const bool host_profiler = file.path == "src/obs/profiler.cpp";
   const auto& tokens = file.tokens;
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const Token& token = tokens[i];
@@ -158,8 +162,9 @@ void det_banned_idents(const FileTokens& file, std::vector<Finding>& out) {
         continue;
       }
     }
-    if ((call && kClockCalls.count(token.text) != 0) ||
-        kClockNames.count(token.text) != 0) {
+    if (!host_profiler &&
+        ((call && kClockCalls.count(token.text) != 0) ||
+         kClockNames.count(token.text) != 0)) {
       add_finding(out, "det.wall_clock", file.path, token.line, token.col,
                   "wall-clock time source '" + token.text +
                       "' in simulation code; simulated time must come from "

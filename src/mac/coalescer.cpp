@@ -61,6 +61,8 @@ bool MacCoalescer::try_accept(const RawRequest& request, Cycle now) {
   switch (result) {
     case Arq::InsertResult::kMerged:
       merge_port_used_at_ = now;
+      MAC3D_OBS_ACTIVITY(arq_last_work_, now);
+      MAC3D_OBS_ACTIVITY(last_work_, now);
       MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag,
                       now);
       MAC3D_OBS_STAMP(sink_, Stage::kMerge, request.tid, request.tag, now);
@@ -74,6 +76,8 @@ bool MacCoalescer::try_accept(const RawRequest& request, Cycle now) {
       break;
     case Arq::InsertResult::kAllocated:
       alloc_port_used_at_ = now;
+      MAC3D_OBS_ACTIVITY(arq_last_work_, now);
+      MAC3D_OBS_ACTIVITY(last_work_, now);
       MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag,
                       now);
       break;
@@ -129,6 +133,8 @@ void MacCoalescer::pop_stage(Cycle now) {
       if (it != accept_cycle_.end()) accept_cycle_.erase(it);
       done.completed = now;
       ready_completions_.push_back(done);
+      MAC3D_OBS_ACTIVITY(arq_last_work_, now);
+      MAC3D_OBS_ACTIVITY(last_work_, now);
     }
     return;
   }
@@ -150,6 +156,8 @@ void MacCoalescer::pop_stage(Cycle now) {
     item.atomic = entry.is_atomic;
     item.bypass = !entry.is_atomic;
     issue_queue_.push_back(std::move(item));
+    MAC3D_OBS_ACTIVITY(arq_last_work_, now);
+    MAC3D_OBS_ACTIVITY(last_work_, now);
     return;
   }
 
@@ -164,6 +172,9 @@ void MacCoalescer::pop_stage(Cycle now) {
 #endif
     builder_.accept(std::move(entry), now);
     next_pop_at_ = now + config_.arq_pop_interval;
+    MAC3D_OBS_ACTIVITY(arq_last_work_, now);
+    MAC3D_OBS_ACTIVITY(builder_last_work_, now);
+    MAC3D_OBS_ACTIVITY(last_work_, now);
   }
 }
 
@@ -181,6 +192,9 @@ void MacCoalescer::issue_stage(Cycle now) {
     }
 #endif
     issue_queue_.push_back(std::move(item));
+    MAC3D_OBS_ACTIVITY(builder_last_work_, now);
+    MAC3D_OBS_ACTIVITY(flit_last_work_, now);
+    MAC3D_OBS_ACTIVITY(last_work_, now);
   }
 
   // Dispatch at most one packet per cycle, subject to link back-pressure.
@@ -202,6 +216,8 @@ void MacCoalescer::issue_stage(Cycle now) {
     ++stats_.built_out;
   }
   issue_queue_.pop_front();
+  MAC3D_OBS_ACTIVITY(flit_last_work_, now);
+  MAC3D_OBS_ACTIVITY(last_work_, now);
 }
 
 void MacCoalescer::tick(Cycle now) {
@@ -233,6 +249,7 @@ std::vector<CompletedAccess> MacCoalescer::drain(Cycle now) {
     }
   }
   stats_.completions += out.size();
+  if (!out.empty()) MAC3D_OBS_ACTIVITY(last_work_, now);
 #if MAC3D_OBS_ENABLED
   if (sink_ != nullptr) {
     for (const CompletedAccess& done : out) {

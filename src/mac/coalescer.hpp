@@ -137,6 +137,28 @@ class MacCoalescer {
   /// coalescer; pass nullptr to detach.
   void attach_sink(EventSink* sink) noexcept { sink_ = sink; }
 
+  // ---- Activity oracle (idle-cycle census, docs/OBSERVABILITY.md) --------
+  /// Any MAC stage did useful work at `now`: intake accepted, an ARQ
+  /// entry popped, the builder produced output, or a packet dispatched.
+  [[nodiscard]] bool did_work_this_cycle(Cycle now) const noexcept {
+    return last_work_ == now;
+  }
+  /// Earliest future cycle the MAC could make progress (0 = drained) —
+  /// the oracle the planned event-driven engine consumes.
+  [[nodiscard]] Cycle next_activity_cycle(Cycle now) const noexcept {
+    return next_event(now);
+  }
+  /// Per-unit activity for the census's finer-grained rows.
+  [[nodiscard]] bool arq_did_work(Cycle now) const noexcept {
+    return arq_last_work_ == now;
+  }
+  [[nodiscard]] bool builder_did_work(Cycle now) const noexcept {
+    return builder_last_work_ == now;
+  }
+  [[nodiscard]] bool flit_table_did_work(Cycle now) const noexcept {
+    return flit_last_work_ == now;
+  }
+
  private:
   struct IssueItem {
     HmcRequest request;
@@ -163,6 +185,10 @@ class MacCoalescer {
   Cycle last_tick_ = 0;
   Cycle merge_port_used_at_ = ~Cycle{0};  ///< dual-port intake bookkeeping
   Cycle alloc_port_used_at_ = ~Cycle{0};
+  Cycle last_work_ = ~Cycle{0};  ///< census slots (MAC3D_OBS_ACTIVITY)
+  Cycle arq_last_work_ = ~Cycle{0};
+  Cycle builder_last_work_ = ~Cycle{0};
+  Cycle flit_last_work_ = ~Cycle{0};
   std::uint64_t outstanding_ = 0;
   TransactionId next_txn_ = 1;
   MacStats stats_;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -159,6 +160,42 @@ class HmcDevice {
   [[nodiscard]] std::uint64_t link_flits_sent(std::uint32_t link) const noexcept {
     return links_[link].request_flits_sent() +
            links_[link].response_flits_sent();
+  }
+
+  // ---- Activity oracle (idle-cycle census, docs/OBSERVABILITY.md) --------
+  /// Any bank is mid-access at `now` (the device's coarse activity bit;
+  /// the per-unit census rows below are the fine-grained view).
+  [[nodiscard]] bool did_work_this_cycle(Cycle now) const noexcept {
+    return banks_busy_fraction(now) > 0.0;
+  }
+  /// Earliest in-flight completion (0 = drained) — the event-driven
+  /// engine's wake-up oracle for the device.
+  [[nodiscard]] Cycle next_activity_cycle(Cycle now) const noexcept {
+    (void)now;
+    return next_completion();
+  }
+
+  /// Register this device's idle-cycle census rows under `prefix`
+  /// (e.g. "node0."): `<prefix>banks`, `<prefix>vault<V>` and
+  /// `<prefix>link<L>`. Templated on the census (normally obs's
+  /// ActivityCensus — mem avoids the link dependency the same way
+  /// step_staged avoids sim's). The device must outlive the census's
+  /// observed run; seal the census before tearing the device down.
+  template <typename Census>
+  void register_census(Census& census, const std::string& prefix) const {
+    census.add_component(prefix + "banks", [this](Cycle now) {
+      return banks_busy_fraction(now) > 0.0;
+    });
+    for (std::uint32_t v = 0; v < vault_count(); ++v) {
+      census.add_component(
+          prefix + "vault" + std::to_string(v),
+          [this, v](Cycle now) { return vault_busy_fraction(v, now) > 0.0; });
+    }
+    for (std::uint32_t l = 0; l < link_count(); ++l) {
+      census.add_component(
+          prefix + "link" + std::to_string(l),
+          [this, l](Cycle now) { return link_request_backlog(l, now) > 0; });
+    }
   }
 
   void reset();

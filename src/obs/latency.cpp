@@ -1,0 +1,138 @@
+#include "obs/latency.hpp"
+
+#include <cstdio>
+
+#include "common/json.hpp"
+#include "obs/lifecycle.hpp"
+
+namespace mac3d {
+
+void LatencyDecomposer::on_stage(Stage stage, ThreadId tid, Tag tag,
+                                 Cycle cycle) {
+  OpenRequest& request = open_[request_gid(tid, tag)];
+  const auto index = static_cast<std::size_t>(stage);
+  if (!request.seen[index]) {
+    request.seen[index] = true;
+    request.stamp[index] = cycle;
+  }
+  if (tracer_ != nullptr) {
+    if (request.any && resident_now_[request.latest] > 0) {
+      --resident_now_[request.latest];
+      emit_residency(request.latest, cycle);
+    }
+    if (stage != Stage::kCoreComplete) {
+      ++resident_now_[index];
+      emit_residency(index, cycle);
+    }
+  }
+  request.latest = static_cast<std::uint8_t>(index);
+  request.any = true;
+  if (stage == Stage::kCoreComplete) {
+    finalize(request);
+    open_.erase(request_gid(tid, tag));
+  }
+  if (downstream_ != nullptr) downstream_->on_stage(stage, tid, tag, cycle);
+}
+
+void LatencyDecomposer::on_merge(ThreadId tid, Tag tag, ThreadId leader_tid,
+                                 Tag leader_tag, Cycle cycle) {
+  if (downstream_ != nullptr) {
+    downstream_->on_merge(tid, tag, leader_tid, leader_tag, cycle);
+  }
+}
+
+void LatencyDecomposer::on_hop(Hop hop, ThreadId tid, Tag tag, NodeId src,
+                               NodeId dest, Cycle cycle) {
+  if (downstream_ != nullptr) {
+    downstream_->on_hop(hop, tid, tag, src, dest, cycle);
+  }
+}
+
+void LatencyDecomposer::finalize(const OpenRequest& request) {
+  ++completed_;
+  std::size_t prev = kStageCount;
+  std::size_t critical_stage = kStageCount;
+  Cycle critical_delta = 0;
+  bool any_segment = false;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    if (!request.seen[i]) continue;
+    if (prev != kStageCount) {
+      // Malformed (non-monotone) histories contribute a 0-cycle segment
+      // rather than wrapping; the tracer's audit flags them separately.
+      const Cycle delta = request.stamp[i] >= request.stamp[prev]
+                              ? request.stamp[i] - request.stamp[prev]
+                              : 0;
+      residency_[prev].add(delta);
+      if (!any_segment || delta > critical_delta) {
+        critical_delta = delta;
+        critical_stage = prev;
+      }
+      any_segment = true;
+    }
+    prev = i;
+  }
+  if (any_segment) ++critical_[critical_stage];
+}
+
+void LatencyDecomposer::emit_residency(std::size_t stage_index, Cycle cycle) {
+  tracer_->emit_counter("stage_residency",
+                        to_string(static_cast<Stage>(stage_index)), cycle,
+                        resident_now_[stage_index]);
+}
+
+std::string LatencyDecomposer::to_json() const {
+  std::string out = "{";
+  out += "\"requests\": " + json_number(completed_);
+  out += ", \"in_flight\": " +
+         json_number(static_cast<std::uint64_t>(open_.size()));
+  out += ", \"stages\": {";
+  bool first = true;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const Histogram& hist = residency_[i];
+    if (hist.count() == 0 && critical_[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(to_string(static_cast<Stage>(i))) + ": {";
+    out += "\"count\": " + json_number(hist.count());
+    out += ", \"min\": " + json_number(hist.min_value());
+    out += ", \"max\": " + json_number(hist.max_value());
+    out += ", \"p50\": " + json_number(hist.quantile(0.50));
+    out += ", \"p95\": " + json_number(hist.quantile(0.95));
+    out += ", \"p99\": " + json_number(hist.quantile(0.99));
+    out += ", \"critical\": " + json_number(critical_[i]);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string LatencyDecomposer::to_table() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-16s %10s %8s %8s %8s %10s\n", "stage",
+                "count", "p50", "p95", "p99", "critical");
+  out += line;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const Histogram& hist = residency_[i];
+    if (hist.count() == 0 && critical_[i] == 0) continue;
+    const double share =
+        completed_ == 0 ? 0.0
+                        : 100.0 * static_cast<double>(critical_[i]) /
+                              static_cast<double>(completed_);
+    const std::string name{to_string(static_cast<Stage>(i))};
+    std::snprintf(line, sizeof(line),
+                  "%-16s %10llu %8llu %8llu %8llu %9.1f%%\n", name.c_str(),
+                  static_cast<unsigned long long>(hist.count()),
+                  static_cast<unsigned long long>(hist.quantile(0.50)),
+                  static_cast<unsigned long long>(hist.quantile(0.95)),
+                  static_cast<unsigned long long>(hist.quantile(0.99)),
+                  share);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-16s %10llu completed requests\n",
+                "total", static_cast<unsigned long long>(completed_));
+  out += line;
+  return out;
+}
+
+}  // namespace mac3d

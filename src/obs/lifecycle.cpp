@@ -335,6 +335,21 @@ void LifecycleTracer::emit_record(const Record& record) {
   emit_event(buf);
 }
 
+void LifecycleTracer::emit_counter(std::string_view name,
+                                   std::string_view series, Cycle ts,
+                                   std::uint64_t value) {
+  if (!trace_open_) return;
+  ensure_path();
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"C\",\"cat\":\"latency\",\"name\":\"%.*s\","
+                "\"pid\":%zu,\"ts\":%" PRIu64 ",\"args\":{\"%.*s\":%" PRIu64
+                "}}",
+                static_cast<int>(name.size()), name.data(), paths_.size(), ts,
+                static_cast<int>(series.size()), series.data(), value);
+  emit_event(buf);
+}
+
 void LifecycleTracer::emit_event(const std::string& json) {
   if (events_written_ != 0) trace_out_ << ",\n";
   trace_out_ << json;

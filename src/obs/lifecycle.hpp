@@ -75,6 +75,12 @@ class LifecycleTracer final : public EventSink {
   void on_hop(Hop hop, ThreadId tid, Tag tag, NodeId src, NodeId dest,
               Cycle cycle) override;
 
+  /// Emit one Chrome counter-track sample (`"ph":"C"`): counter `name`,
+  /// series `series`, value at simulated time `ts`. No-op unless a trace
+  /// file is open. LatencyDecomposer renders per-stage residency with it.
+  void emit_counter(std::string_view name, std::string_view series, Cycle ts,
+                    std::uint64_t value);
+
   [[nodiscard]] const std::deque<PathTelemetry>& paths() const noexcept {
     return paths_;
   }

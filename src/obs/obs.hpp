@@ -228,6 +228,13 @@ class BufferedSink final : public EventSink {
       (counter)->add((n));             \
     }                                  \
   } while (0)
+// Activity stamp for the idle-cycle census (src/obs/profiler.hpp): record
+// that a component sub-unit did useful work this cycle by storing the
+// cycle into its `last_work` slot. One store when ON, nothing when OFF.
+#define MAC3D_OBS_ACTIVITY(slot, cycle) \
+  do {                                  \
+    (slot) = (cycle);                   \
+  } while (0)
 #else
 #define MAC3D_OBS_STAMP(sink, stage, tid, tag, cycle) \
   do {                                                \
@@ -243,5 +250,8 @@ class BufferedSink final : public EventSink {
   } while (0)
 #define MAC3D_OBS_COUNT_N(counter, n) \
   do {                                \
+  } while (0)
+#define MAC3D_OBS_ACTIVITY(slot, cycle) \
+  do {                                  \
   } while (0)
 #endif

@@ -1,0 +1,180 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/json.hpp"
+#include "obs/registry.hpp"
+
+namespace mac3d {
+
+// The one sanctioned host-clock read in src/ (docs/STATIC_ANALYSIS.md:
+// det.wall_clock exempts this file). Everything downstream consumes the
+// returned seconds, never the clock itself.
+double host_now_seconds() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+std::size_t ActivityCensus::add_component(std::string name, Probe probe) {
+  const std::size_t index = rows_.size();
+  rows_.push_back({std::move(name), 0, 0});
+  probes_.push_back(std::move(probe));
+  return index;
+}
+
+std::size_t ActivityCensus::add_feeder(std::string name) {
+  const std::size_t index = add_component(std::move(name), Probe{});
+  feeder_index_ = index;
+  return index;
+}
+
+void ActivityCensus::observe(Cycle now) {
+  if (observed_any_ && now <= last_observed_) return;
+  // Cycles the engine skipped (or never visited) are idle for everyone:
+  // the driver only jumps over cycles where provably nothing happens.
+  const std::uint64_t gap = observed_any_ ? now - last_observed_ - 1 : now;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    rows_[i].idle_cycles += gap;
+    const bool active = i == feeder_index_
+                            ? feeder_marked_at_ == now
+                            : probes_[i] && probes_[i](now);
+    if (active) {
+      ++rows_[i].active_cycles;
+    } else {
+      ++rows_[i].idle_cycles;
+    }
+  }
+  observed_cycles_ += gap + 1;
+  last_observed_ = now;
+  observed_any_ = true;
+}
+
+void ActivityCensus::seal() {
+  probes_.clear();
+  probes_.resize(rows_.size());
+  feeder_index_ = kNoFeeder;  // the feeder's marker may dangle too
+}
+
+void ActivityCensus::export_metrics(MetricsRegistry& registry) const {
+  for (const Row& row : rows_) {
+    registry.counter(row.name + ".active_cycles").add(row.active_cycles);
+    registry.counter(row.name + ".idle_cycles").add(row.idle_cycles);
+  }
+}
+
+double ActivityCensus::dead_time_fraction() const noexcept {
+  std::uint64_t active = 0;
+  std::uint64_t idle = 0;
+  for (const Row& row : rows_) {
+    active += row.active_cycles;
+    idle += row.idle_cycles;
+  }
+  const std::uint64_t total = active + idle;
+  return total == 0 ? 0.0
+                    : static_cast<double>(idle) / static_cast<double>(total);
+}
+
+std::string ActivityCensus::to_table() const {
+  std::size_t width = 9;  // "component"
+  for (const Row& row : rows_) width = std::max(width, row.name.size());
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-*s %12s %12s %10s\n",
+                static_cast<int>(width), "component", "active", "idle",
+                "dead-time");
+  out += line;
+  for (const Row& row : rows_) {
+    const std::uint64_t total = row.active_cycles + row.idle_cycles;
+    const double dead =
+        total == 0 ? 0.0
+                   : static_cast<double>(row.idle_cycles) /
+                         static_cast<double>(total);
+    std::snprintf(line, sizeof(line), "%-*s %12llu %12llu %9.1f%%\n",
+                  static_cast<int>(width), row.name.c_str(),
+                  static_cast<unsigned long long>(row.active_cycles),
+                  static_cast<unsigned long long>(row.idle_cycles),
+                  100.0 * dead);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%-*s %12llu cycles observed, %9.1f%% dead overall\n",
+                static_cast<int>(width), "total",
+                static_cast<unsigned long long>(observed_cycles_),
+                100.0 * dead_time_fraction());
+  out += line;
+  return out;
+}
+
+std::string ActivityCensus::to_json() const {
+  std::string out = "{";
+  out += "\"observed_cycles\": " + json_number(observed_cycles_);
+  out += ", \"dead_time_fraction\": " + json_number(dead_time_fraction());
+  out += ", \"components\": {";
+  bool first = true;
+  for (const Row& row : rows_) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(row.name) + ": {\"active_cycles\": " +
+           json_number(row.active_cycles) +
+           ", \"idle_cycles\": " + json_number(row.idle_cycles) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+double HostProfiler::worker_imbalance() const noexcept {
+  if (worker_busy_.empty()) return 0.0;
+  double sum = 0.0;
+  double peak = 0.0;
+  for (const double busy : worker_busy_) {
+    sum += busy;
+    peak = std::max(peak, busy);
+  }
+  if (sum <= 0.0) return 0.0;
+  const double mean = sum / static_cast<double>(worker_busy_.size());
+  return peak / mean;
+}
+
+std::string HostProfiler::to_json() const {
+  std::string out = "{\"phase_seconds\": {";
+  for (std::size_t i = 0; i < kHostPhaseCount; ++i) {
+    if (i != 0) out += ", ";
+    out += json_quote(to_string(static_cast<HostPhase>(i))) + ": " +
+           json_number(phase_seconds_[i]);
+  }
+  out += "}, \"workers\": {\"count\": " +
+         json_number(static_cast<std::uint64_t>(worker_busy_.size())) +
+         ", \"busy_seconds\": [";
+  for (std::size_t i = 0; i < worker_busy_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += json_number(worker_busy_[i]);
+  }
+  out += "], \"imbalance\": " + json_number(worker_imbalance()) + "}}";
+  return out;
+}
+
+std::string HostProfiler::to_table() const {
+  std::string out;
+  char line[160];
+  double total = 0.0;
+  for (const double seconds : phase_seconds_) total += seconds;
+  for (std::size_t i = 0; i < kHostPhaseCount; ++i) {
+    const double share =
+        total <= 0.0 ? 0.0 : 100.0 * phase_seconds_[i] / total;
+    std::snprintf(line, sizeof(line), "%-10s %10.6fs %6.1f%%\n",
+                  std::string(to_string(static_cast<HostPhase>(i))).c_str(),
+                  phase_seconds_[i], share);
+    out += line;
+  }
+  if (!worker_busy_.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "workers    %10zu   imbalance %.2fx\n", worker_busy_.size(),
+                  worker_imbalance());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mac3d

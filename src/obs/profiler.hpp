@@ -1,0 +1,205 @@
+// Simulator self-profiling (docs/OBSERVABILITY.md §profiler): the
+// idle-cycle census over every tickable component and the host-side
+// wall-clock attribution for engine phases and parallel workers.
+//
+// The census is the measurement arm of the ROADMAP's event-driven
+// fast-forward engine: it forces each component to expose the Activity
+// oracle (`did_work_this_cycle` / `next_activity_cycle`) that engine will
+// consume, and turns "most cycles are dead time" into per-component
+// numbers. Census probes are evaluated only at serial points (the census
+// owner observes once per simulated cycle), so serial and parallel
+// engines produce byte-identical census exports.
+//
+// Host-time measurements (HostProfiler) are wall-clock and therefore
+// nondeterministic by nature; they are quarantined in the report's
+// `host` section, which report-diff skips by name.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mac3d {
+
+class MetricsRegistry;
+
+/// Monotonic host wall clock in seconds. This is the only sanctioned
+/// clock read in src/ (defined in profiler.cpp; det.wall_clock exempts
+/// that one file) — everything else must consume its result so host time
+/// stays quarantined from simulated time.
+[[nodiscard]] double host_now_seconds();
+
+/// The Activity concept every tickable component grows in this PR and the
+/// event-driven engine will later consume: "did you do useful work at
+/// cycle `now`?" plus "when is your next possible activity?" (0 = idle
+/// forever, i.e. the component is drained).
+template <typename T>
+concept ActivityComponent = requires(const T& t, Cycle now) {
+  { t.did_work_this_cycle(now) } -> std::convertible_to<bool>;
+  { t.next_activity_cycle(now) } -> std::convertible_to<Cycle>;
+};
+
+/// Idle-cycle census: accumulates per-component active/idle cycle counts.
+///
+/// Components register a probe (or satisfy ActivityComponent); the run
+/// owner calls observe(now) once per simulated cycle at a serial point.
+/// Cycles the engine never visited (time skips) count as idle for every
+/// component — the driver only skips cycles where provably nothing
+/// happens, which is exactly the dead time the census exists to measure.
+class ActivityCensus {
+ public:
+  using Probe = std::function<bool(Cycle)>;
+
+  struct Row {
+    std::string name;
+    std::uint64_t active_cycles = 0;
+    std::uint64_t idle_cycles = 0;
+  };
+
+  /// Register a component under `name` with an explicit activity probe.
+  /// Returns the component's census index.
+  std::size_t add_component(std::string name, Probe probe);
+
+  /// Register any ActivityComponent; the probe delegates to its
+  /// did_work_this_cycle. The component must outlive the observed run
+  /// (call seal() before it dies).
+  template <ActivityComponent T>
+  std::size_t add_component(std::string name, const T& component) {
+    return add_component(std::move(name), [&component](Cycle now) {
+      return component.did_work_this_cycle(now);
+    });
+  }
+
+  /// Register a manually-marked component (the trace feeder has no tick
+  /// of its own): mark_feeder(now) flags the current cycle as active.
+  std::size_t add_feeder(std::string name);
+  void mark_feeder(Cycle now) noexcept { feeder_marked_at_ = now; }
+
+  /// Account one simulated cycle. Idempotent per cycle; a forward jump
+  /// from the last observed cycle books the skipped cycles as idle for
+  /// every component. Call only from serial points.
+  void observe(Cycle now);
+
+  /// Drop every probe, keeping the accumulated counts. Call before the
+  /// probed components are destroyed (mirrors the SamplerWindow hazard:
+  /// probes capture components by reference).
+  void seal();
+
+  /// Export `<name>.active_cycles` / `<name>.idle_cycles` counters.
+  void export_metrics(MetricsRegistry& registry) const;
+
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] std::uint64_t observed_cycles() const noexcept {
+    return observed_cycles_;
+  }
+  /// Idle fraction across all components (1.0 = everything always idle;
+  /// 0 observed cycles reports 0.0).
+  [[nodiscard]] double dead_time_fraction() const noexcept;
+
+  /// Aligned text table: component, active, idle, dead-time fraction.
+  [[nodiscard]] std::string to_table() const;
+  /// Deterministic JSON object {"<name>":{"active_cycles":..,
+  /// "idle_cycles":..},...} in registration order plus a summary.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  static constexpr std::size_t kNoFeeder = static_cast<std::size_t>(-1);
+
+  std::vector<Row> rows_;
+  std::vector<Probe> probes_;  // parallel to rows_ until seal()
+  std::size_t feeder_index_ = kNoFeeder;
+  Cycle feeder_marked_at_ = ~Cycle{0};
+  bool observed_any_ = false;
+  Cycle last_observed_ = 0;
+  std::uint64_t observed_cycles_ = 0;
+};
+
+/// Engine phases the host profiler attributes wall-clock to.
+enum class HostPhase : std::uint8_t {
+  kTick = 0,    ///< component tick / shard execution
+  kCommit,      ///< staged-state commit + telemetry mailbox flush
+  kTelemetry,   ///< census observe + lifecycle/trace bookkeeping
+  kSampler,     ///< cycle-sampler probe evaluation
+};
+
+inline constexpr std::size_t kHostPhaseCount = 4;
+
+[[nodiscard]] constexpr std::string_view to_string(HostPhase phase) noexcept {
+  switch (phase) {
+    case HostPhase::kTick: return "tick";
+    case HostPhase::kCommit: return "commit";
+    case HostPhase::kTelemetry: return "telemetry";
+    case HostPhase::kSampler: return "sampler";
+  }
+  return "?";
+}
+
+/// Wall-clock attribution for a run: per-phase totals plus per-worker
+/// busy time under the parallel engine. All values are host seconds and
+/// live only in the non-diffed `host` report section.
+class HostProfiler {
+ public:
+  /// RAII phase timer. Null profiler => no clock read at all, so an
+  /// unprofiled run never touches the host clock on the hot path.
+  class Scope {
+   public:
+    Scope(HostProfiler* profiler, HostPhase phase)
+        : profiler_(profiler),
+          phase_(phase),
+          start_(profiler == nullptr ? 0.0 : host_now_seconds()) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      if (profiler_ != nullptr) {
+        profiler_->add_phase_seconds(phase_, host_now_seconds() - start_);
+      }
+    }
+
+   private:
+    HostProfiler* profiler_;
+    HostPhase phase_;
+    double start_;
+  };
+
+  void add_phase_seconds(HostPhase phase, double seconds) noexcept {
+    phase_seconds_[static_cast<std::size_t>(phase)] += seconds;
+  }
+  [[nodiscard]] double phase_seconds(HostPhase phase) const noexcept {
+    return phase_seconds_[static_cast<std::size_t>(phase)];
+  }
+
+  /// Size the per-worker busy array. Call before the parallel phase
+  /// starts; each index is then written by exactly one worker thread.
+  void set_worker_count(std::size_t count) { worker_busy_.assign(count, 0.0); }
+  void add_worker_busy(std::size_t index, double seconds) noexcept {
+    if (index < worker_busy_.size()) worker_busy_[index] += seconds;
+  }
+  [[nodiscard]] const std::vector<double>& worker_busy() const noexcept {
+    return worker_busy_;
+  }
+  /// max(busy) / mean(busy): 1.0 = perfectly balanced shards. 0 workers
+  /// or an all-idle pool reports 0.0.
+  [[nodiscard]] double worker_imbalance() const noexcept;
+
+  /// JSON object for the report's `host` section:
+  /// {"phase_seconds":{...},"workers":{"count":N,"busy_seconds":[...],
+  /// "imbalance":X}}.
+  [[nodiscard]] std::string to_json() const;
+  /// Aligned text table of the same numbers.
+  [[nodiscard]] std::string to_table() const;
+
+ private:
+  double phase_seconds_[kHostPhaseCount] = {};
+  std::vector<double> worker_busy_;
+};
+
+}  // namespace mac3d

@@ -6,8 +6,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <sstream>
+#include <string_view>
+#include <utility>
 
 namespace mac3d {
 namespace {
@@ -113,6 +116,12 @@ class FlattenParser {
         return false;
       }
       const std::string child = path.empty() ? key : path + "." + key;
+      if (path.empty()) {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '{') {
+          out_.sections.push_back(key);
+        }
+      }
       if (!parse_value(child, depth + 1)) return false;
       if (consume(',')) continue;
       if (consume('}')) return true;
@@ -233,7 +242,8 @@ bool parse_report(const std::string& json, FlatReport& out,
   }
   out.schema = schema->second;
   if (out.schema != "mac3d-run-report/1" &&
-      out.schema != "mac3d-run-report/2") {
+      out.schema != "mac3d-run-report/2" &&
+      out.schema != "mac3d-run-report/3") {
     error = "unsupported schema \"" + out.schema + "\"";
     return false;
   }
@@ -261,6 +271,9 @@ DiffResult diff_reports(const FlatReport& old_report,
                         const DiffOptions& options) {
   DiffResult result;
   const auto ignored = [&](const std::string& path) {
+    // Host wall-clock attribution is nondeterministic by nature: the
+    // whole section is exempt from diffing by name (docs/OBSERVABILITY.md).
+    if (path == "host" || path.rfind("host.", 0) == 0) return true;
     return std::find(options.ignore.begin(), options.ignore.end(), path) !=
            options.ignore.end();
   };
@@ -381,6 +394,20 @@ std::string render_diff(const DiffResult& result, const DiffOptions& options) {
   return out.str();
 }
 
+namespace {
+
+/// Top-level object sections every supported schema may carry. Anything
+/// else means the report came from a newer (or foreign) writer and a
+/// diff would silently ignore whatever it contains — fail loudly instead.
+[[nodiscard]] bool known_section(const std::string& name) {
+  static constexpr std::string_view kKnown[] = {"config", "metrics", "paths",
+                                                "checks", "latency", "host"};
+  return std::find(std::begin(kKnown), std::end(kKnown), name) !=
+         std::end(kKnown);
+}
+
+}  // namespace
+
 int run_report_diff(const std::string& old_file, const std::string& new_file,
                     const DiffOptions& options) {
   FlatReport old_report;
@@ -390,6 +417,26 @@ int run_report_diff(const std::string& old_file, const std::string& new_file,
       !load_report(new_file, new_report, error)) {
     std::fprintf(stderr, "report-diff: %s\n", error.c_str());
     return 2;
+  }
+  if (old_report.schema != new_report.schema) {
+    std::fprintf(stderr,
+                 "report-diff: schema mismatch: %s is \"%s\" but %s is "
+                 "\"%s\" (regenerate the baseline)\n",
+                 old_file.c_str(), old_report.schema.c_str(),
+                 new_file.c_str(), new_report.schema.c_str());
+    return 2;
+  }
+  const std::pair<const std::string*, const FlatReport*> inputs[] = {
+      {&old_file, &old_report}, {&new_file, &new_report}};
+  for (const auto& [file, report] : inputs) {
+    for (const std::string& section : report->sections) {
+      if (!known_section(section)) {
+        std::fprintf(stderr,
+                     "report-diff: %s: unknown top-level section \"%s\"\n",
+                     file->c_str(), section.c_str());
+        return 2;
+      }
+    }
   }
   const DiffResult result = diff_reports(old_report, new_report, options);
   const std::string table = render_diff(result, options);

@@ -1,12 +1,17 @@
 // report-diff: the perf-regression half of the observability stack.
 //
-// Parses two run-report JSON files (schemas mac3d-run-report/1 and /2),
-// flattens every numeric leaf to a dotted path ("paths.mac.stats.bw",
-// "metrics.node3.router.remote_in"), and compares them metric-by-metric
-// against a relative tolerance. Non-numeric leaves (schema string, config
-// tokens) participate as exact-match strings. `wall_seconds` is ignored by
-// default — it is the one field two identical runs legitimately disagree
-// on. Backs `mac3d report-diff` and bench --baseline (bench_common.hpp).
+// Parses two run-report JSON files (schemas mac3d-run-report/1, /2 or
+// /3), flattens every numeric leaf to a dotted path
+// ("paths.mac.stats.bw", "metrics.node3.router.remote_in"), and compares
+// them metric-by-metric against a relative tolerance. Non-numeric leaves
+// (schema string, config tokens) participate as exact-match strings.
+// `wall_seconds` and the /3 `host` section (wall-clock attribution) are
+// ignored by construction — they are the only fields two identical runs
+// legitimately disagree on. The CLI entry (run_report_diff) fails loudly
+// with exit 2 — never a silent pass — when the two reports carry
+// different schema versions or when either contains an unknown top-level
+// section. Backs `mac3d report-diff` and bench --baseline
+// (bench_common.hpp).
 #pragma once
 
 #include <map>
@@ -22,11 +27,15 @@ struct FlatReport {
   std::string schema;
   std::map<std::string, double> numbers;  ///< dotted path -> numeric leaf
   std::map<std::string, std::string> strings;
+  /// Top-level object-valued keys in document order ("config", "paths",
+  /// ...) — the section inventory run_report_diff validates.
+  std::vector<std::string> sections;
 };
 
 /// Parse `json` into a FlatReport. Returns false (with a one-line message
 /// in `error`) on malformed JSON or an unrecognized schema; accepts
-/// mac3d-run-report/1 and /2 and reports missing "schema" as an error.
+/// mac3d-run-report/1, /2 and /3 and reports missing "schema" as an
+/// error.
 bool parse_report(const std::string& json, FlatReport& out,
                   std::string& error);
 
@@ -65,9 +74,10 @@ struct DiffResult {
 };
 
 /// Compare two flattened reports. String leaves are compared exactly but
-/// never gate ok() unless they differ (schema difference /1 vs /2 alone is
-/// allowed: the /2-only "metrics" leaves then count as only_new, which
-/// fail only under fail_on_missing).
+/// never gate ok() unless they differ (the "schema" leaf itself is
+/// skipped here — bench::Session tolerates an older-schema baseline; the
+/// CLI entry below does not). The `host` section is skipped by name:
+/// wall-clock attribution never gates a diff.
 DiffResult diff_reports(const FlatReport& old_report,
                         const FlatReport& new_report,
                         const DiffOptions& options);
@@ -75,8 +85,11 @@ DiffResult diff_reports(const FlatReport& old_report,
 /// Render the diff as a human table (empty string when nothing differs).
 std::string render_diff(const DiffResult& result, const DiffOptions& options);
 
-/// Full CLI entry: load both files, diff, print table to stdout. Exit
-/// codes: 0 in-tolerance, 1 out-of-tolerance, 2 usage/IO/parse error.
+/// Full CLI entry: load both files, validate, diff, print table to
+/// stdout. Exit codes: 0 in-tolerance, 1 out-of-tolerance, 2 on
+/// usage/IO/parse trouble, mismatched schema versions between the two
+/// reports, or an unknown top-level section in either (fail-loud: a
+/// half-understood report must never silently pass).
 int run_report_diff(const std::string& old_file, const std::string& new_file,
                     const DiffOptions& options);
 

@@ -111,6 +111,16 @@ std::string RunReport::to_json() const {
     first = false;
     out += "\n  \"metrics\": " + metrics_json_;
   }
+  if (!latency_json_.empty()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  \"latency\": " + latency_json_;
+  }
+  if (!host_json_.empty()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  \"host\": " + host_json_;
+  }
   if (!paths_.empty()) {
     if (!first) out += ',';
     first = false;

@@ -20,9 +20,12 @@ class MetricsRegistry;
 class RunReport {
  public:
   /// Schema identity stamped into every report. /2 added the optional
-  /// "metrics" section (MetricsRegistry export); readers (report-diff)
-  /// still accept /1.
-  static constexpr std::string_view kSchema = "mac3d-run-report/2";
+  /// "metrics" section (MetricsRegistry export); /3 added the optional
+  /// "latency" (per-stage residency decomposition) and "host" (wall-clock
+  /// attribution, exempt from diffing) sections. Readers (report-diff)
+  /// still accept /1 and /2.
+  static constexpr std::string_view kSchema = "mac3d-run-report/3";
+  static constexpr std::string_view kSchemaV2 = "mac3d-run-report/2";
   static constexpr std::string_view kSchemaV1 = "mac3d-run-report/1";
 
   RunReport();
@@ -40,6 +43,15 @@ class RunReport {
   /// Snapshot a MetricsRegistry under "metrics" (sorted, deterministic —
   /// the /2 schema addition).
   void set_metrics(const MetricsRegistry& registry);
+
+  /// Pre-rendered JSON object for the "latency" section (the /3 addition:
+  /// LatencyDecomposer::to_json, or a {"<path>": {...}} wrapper of them).
+  void set_latency(std::string json) { latency_json_ = std::move(json); }
+
+  /// Pre-rendered JSON object for the "host" section (the /3 addition:
+  /// HostProfiler::to_json). Wall-clock numbers only — report-diff skips
+  /// this section by name, so it never gates a baseline.
+  void set_host(std::string json) { host_json_ = std::move(json); }
 
   // ---- Per-path sections (rendered under "paths") ------------------------
   void set_path_stats(const std::string& path, const StatSet& stats);
@@ -69,6 +81,8 @@ class RunReport {
   std::vector<std::pair<std::string, std::string>> fields_;
   std::string config_json_;
   std::string metrics_json_;
+  std::string latency_json_;
+  std::string host_json_;
   std::vector<PathEntry> paths_;
 };
 

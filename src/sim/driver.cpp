@@ -11,6 +11,7 @@
 #include "mac/coalescer.hpp"
 #include "mem/hmc_device.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
 #include "sim/parallel.hpp"
 #include "sim/raw_path.hpp"
@@ -90,6 +91,13 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
   Cycle now = 0;
   LoopResult result;
   std::uint32_t turn = 0;
+#if MAC3D_OBS_ENABLED
+  ActivityCensus* const census = options.census;
+  HostProfiler* const profiler = options.profiler;
+#else
+  ActivityCensus* const census = nullptr;
+  HostProfiler* const profiler = nullptr;
+#endif
 
   while (records_left > 0 || !path.idle()) {
     // Intake: present arrived records round-robin until the path's intake
@@ -129,6 +137,7 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
           break;
         }
         tags[t].allocate();
+        if (census != nullptr) census->mark_feeder(now);
         ++cursor.next;
         cursor.stamped = false;
         --records_left;
@@ -144,19 +153,33 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
       if (!found) break;
     }
 
-    path.tick(now);
-    barrier();
-    for (const CompletedAccess& done : path.drain(now)) {
-      result.makespan = std::max(result.makespan, done.completed);
-      ++result.completions;
-      MAC3D_OBS_STAMP(options.sink, Stage::kCoreComplete, done.target.tid,
-                      done.target.tag, done.completed);
-      if (done.target.tid < threads) {
-        tags[done.target.tid].release(done.target.tag);
+    {
+      HostProfiler::Scope scope(profiler, HostPhase::kTick);
+      path.tick(now);
+    }
+    {
+      HostProfiler::Scope scope(profiler, HostPhase::kCommit);
+      barrier();
+    }
+    {
+      HostProfiler::Scope scope(profiler, HostPhase::kTelemetry);
+      for (const CompletedAccess& done : path.drain(now)) {
+        result.makespan = std::max(result.makespan, done.completed);
+        ++result.completions;
+        MAC3D_OBS_STAMP(options.sink, Stage::kCoreComplete, done.target.tid,
+                        done.target.tag, done.completed);
+        if (done.target.tid < threads) {
+          tags[done.target.tid].release(done.target.tag);
+        }
       }
+      // Serial point: the cycle's work (tick, barrier, drain) is done.
+      if (census != nullptr) census->observe(now);
     }
 #if MAC3D_OBS_ENABLED
-    if (options.sampler != nullptr) options.sampler->advance_to(now);
+    if (options.sampler != nullptr) {
+      HostProfiler::Scope scope(profiler, HostPhase::kSampler);
+      options.sampler->advance_to(now);
+    }
 #endif
 
     // Advance time.
@@ -226,6 +249,13 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
   LoopResult result;
   std::uint32_t turn = 0;
   std::uint64_t outstanding_total = 0;
+#if MAC3D_OBS_ENABLED
+  ActivityCensus* const census = options.census;
+  HostProfiler* const profiler = options.profiler;
+#else
+  ActivityCensus* const census = nullptr;
+  HostProfiler* const profiler = nullptr;
+#endif
 
   auto thread_issuable = [&](const ThreadCursor& cursor,
                              ThreadId tid) -> bool {
@@ -274,6 +304,7 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
           break;
         }
         ++cursor.tag;
+        if (census != nullptr) census->mark_feeder(now);
         ++cursor.next;
         cursor.stamped = false;
         if (record.op == MemOp::kStore) {
@@ -291,31 +322,45 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
       if (!found) break;
     }
 
-    path.tick(now);
-    barrier();
-    for (const CompletedAccess& done : path.drain(now)) {
-      result.makespan = std::max(result.makespan, done.completed);
-      ++result.completions;
-      MAC3D_OBS_STAMP(options.sink, Stage::kCoreComplete, done.target.tid,
-                      done.target.tag, done.completed);
-      const std::uint32_t t = done.target.tid;
-      if (t >= threads) continue;  // foreign node traffic (not used here)
-      ThreadCursor& cursor = cursors[t];
-      if (done.write && !done.atomic && !done.fence) {
-        --cursor.stores;
-      } else {
-        --cursor.loads;  // loads, atomics and fences
+    {
+      HostProfiler::Scope scope(profiler, HostPhase::kTick);
+      path.tick(now);
+    }
+    {
+      HostProfiler::Scope scope(profiler, HostPhase::kCommit);
+      barrier();
+    }
+    {
+      HostProfiler::Scope scope(profiler, HostPhase::kTelemetry);
+      for (const CompletedAccess& done : path.drain(now)) {
+        result.makespan = std::max(result.makespan, done.completed);
+        ++result.completions;
+        MAC3D_OBS_STAMP(options.sink, Stage::kCoreComplete, done.target.tid,
+                        done.target.tag, done.completed);
+        const std::uint32_t t = done.target.tid;
+        if (t >= threads) continue;  // foreign node traffic (not used here)
+        ThreadCursor& cursor = cursors[t];
+        if (done.write && !done.atomic && !done.fence) {
+          --cursor.stores;
+        } else {
+          --cursor.loads;  // loads, atomics and fences
+        }
+        --outstanding_total;
+        const auto& records = trace.thread(static_cast<ThreadId>(t));
+        Cycle ready = done.completed;
+        if (options.charge_gaps && cursor.next < records.size()) {
+          ready += records[cursor.next].gap;
+        }
+        cursor.ready_at = std::max(cursor.ready_at, ready);
       }
-      --outstanding_total;
-      const auto& records = trace.thread(static_cast<ThreadId>(t));
-      Cycle ready = done.completed;
-      if (options.charge_gaps && cursor.next < records.size()) {
-        ready += records[cursor.next].gap;
-      }
-      cursor.ready_at = std::max(cursor.ready_at, ready);
+      // Serial point: the cycle's work (tick, barrier, drain) is done.
+      if (census != nullptr) census->observe(now);
     }
 #if MAC3D_OBS_ENABLED
-    if (options.sampler != nullptr) options.sampler->advance_to(now);
+    if (options.sampler != nullptr) {
+      HostProfiler::Scope scope(profiler, HostPhase::kSampler);
+      options.sampler->advance_to(now);
+    }
 #endif
 
     // Advance time: immediately if another request can go now, else to the
@@ -492,6 +537,24 @@ class SamplerWindow {
   bool closed_ = false;
 };
 
+/// Scopes one run's slice of a (possibly shared) ActivityCensus: its
+/// probes capture the run's path and device by reference, so seal() must
+/// run before those objects die — including on exception unwind (declare
+/// after the device and the path, like SamplerWindow). Counts survive the
+/// seal; a shared census accumulates across runs.
+class CensusWindow {
+ public:
+  explicit CensusWindow(ActivityCensus* census) : census_(census) {}
+  CensusWindow(const CensusWindow&) = delete;
+  CensusWindow& operator=(const CensusWindow&) = delete;
+  ~CensusWindow() {
+    if (census_ != nullptr) census_->seal();
+  }
+
+ private:
+  ActivityCensus* census_;
+};
+
 #if MAC3D_OBS_ENABLED
 /// Device-side probes shared by every path (registered after the path's
 /// own probes so the CSV column set is uniform: queue_occupancy,
@@ -542,10 +605,13 @@ DriverResult run_mac(const MemoryTrace& trace, const SimConfig& config,
 #endif
 #if MAC3D_OBS_ENABLED
   CycleSampler* const sampler = options.sampler;
+  ActivityCensus* const census = options.census;
 #else
   CycleSampler* const sampler = nullptr;
+  ActivityCensus* const census = nullptr;
 #endif
   SamplerWindow swindow(sampler, "mac");
+  CensusWindow cwindow(census);
 #if MAC3D_OBS_ENABLED
   if (sampler != nullptr) {
     sampler->add_probe("queue_occupancy", [&mac](Cycle) {
@@ -555,6 +621,20 @@ DriverResult run_mac(const MemoryTrace& trace, const SimConfig& config,
       return static_cast<double>(mac.issue_backlog());
     });
     register_device_probes(*sampler, device);
+  }
+  if (census != nullptr) {
+    census->add_feeder("node0.feeder");
+    census->add_component("node0.mac", mac);
+    census->add_component("node0.arq", [&mac](Cycle now) {
+      return mac.arq_did_work(now);
+    });
+    census->add_component("node0.builder", [&mac](Cycle now) {
+      return mac.builder_did_work(now);
+    });
+    census->add_component("node0.flit_table", [&mac](Cycle now) {
+      return mac.flit_table_did_work(now);
+    });
+    device.register_census(*census, "node0.");
   }
 #endif
   EngineWindow engine(options, device);
@@ -588,10 +668,13 @@ DriverResult run_raw(const MemoryTrace& trace, const SimConfig& config,
 #endif
 #if MAC3D_OBS_ENABLED
   CycleSampler* const sampler = options.sampler;
+  ActivityCensus* const census = options.census;
 #else
   CycleSampler* const sampler = nullptr;
+  ActivityCensus* const census = nullptr;
 #endif
   SamplerWindow swindow(sampler, "raw");
+  CensusWindow cwindow(census);
 #if MAC3D_OBS_ENABLED
   if (sampler != nullptr) {
     sampler->add_probe("queue_occupancy", [&raw](Cycle) {
@@ -599,6 +682,11 @@ DriverResult run_raw(const MemoryTrace& trace, const SimConfig& config,
     });
     sampler->add_probe("issue_backlog", [](Cycle) { return 0.0; });
     register_device_probes(*sampler, device);
+  }
+  if (census != nullptr) {
+    census->add_feeder("node0.feeder");
+    census->add_component("node0.queue", raw);
+    device.register_census(*census, "node0.");
   }
 #endif
   EngineWindow engine(options, device);
@@ -631,10 +719,13 @@ DriverResult run_mshr(const MemoryTrace& trace, const SimConfig& config,
 #endif
 #if MAC3D_OBS_ENABLED
   CycleSampler* const sampler = options.sampler;
+  ActivityCensus* const census = options.census;
 #else
   CycleSampler* const sampler = nullptr;
+  ActivityCensus* const census = nullptr;
 #endif
   SamplerWindow swindow(sampler, "mshr");
+  CensusWindow cwindow(census);
 #if MAC3D_OBS_ENABLED
   if (sampler != nullptr) {
     sampler->add_probe("queue_occupancy", [&mshr](Cycle) {
@@ -644,6 +735,11 @@ DriverResult run_mshr(const MemoryTrace& trace, const SimConfig& config,
       return static_cast<double>(mshr.dispatch_backlog());
     });
     register_device_probes(*sampler, device);
+  }
+  if (census != nullptr) {
+    census->add_feeder("node0.feeder");
+    census->add_component("node0.mshr", mshr);
+    device.register_census(*census, "node0.");
   }
 #endif
   EngineWindow engine(options, device);

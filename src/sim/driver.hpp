@@ -19,9 +19,11 @@
 
 namespace mac3d {
 
+class ActivityCensus;
 class CheckContext;
 class CycleSampler;
 class EventSink;
+class HostProfiler;
 
 /// How the trace is fed into the memory path.
 enum class FeedMode {
@@ -94,6 +96,19 @@ struct DriveOptions {
   /// shared across runs (rows are labeled with the path name). Ignored
   /// when the build disables MAC3D_OBS.
   CycleSampler* sampler = nullptr;
+  /// Idle-cycle census (docs/OBSERVABILITY.md §profiler): when non-null,
+  /// the driver registers the run's components (node0.feeder, the path's
+  /// units, the device's banks/vaults/links), marks the feeder on every
+  /// accepted request and observes the census once per simulated cycle at
+  /// a serial point. The census may be shared across runs (counts
+  /// accumulate); its probes are sealed before the pipeline dies. Ignored
+  /// when the build disables MAC3D_OBS.
+  ActivityCensus* census = nullptr;
+  /// Host wall-clock attribution: when non-null, the driver times its
+  /// tick / commit / telemetry / sampler phases. Host time never feeds
+  /// back into simulated results. Ignored when the build disables
+  /// MAC3D_OBS.
+  HostProfiler* profiler = nullptr;
 };
 
 struct DriverResult {

@@ -29,6 +29,8 @@
 
 namespace mac3d {
 
+class HostProfiler;
+
 class ParallelStepper {
  public:
   /// `threads` is the total worker count including the calling thread
@@ -62,9 +64,20 @@ class ParallelStepper {
   /// Worker count the environment asks for (MAC3D_JOBS, else `fallback`).
   [[nodiscard]] static std::uint32_t env_jobs(std::uint32_t fallback = 1);
 
+  /// Attach host wall-clock attribution (docs/OBSERVABILITY.md §profiler):
+  /// each shard execution adds to its worker's busy time (calling thread
+  /// = worker 0, pool thread i = worker i + 1; each slot has exactly one
+  /// writer). Size the profiler with set_worker_count(thread_count())
+  /// first. Per-shard clock reads only happen while attached, so an
+  /// unprofiled stepper never touches the host clock. Pass nullptr to
+  /// detach; attach only between for_shards calls.
+  void attach_profiler(HostProfiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
+
  private:
-  void work();
-  void worker_loop();
+  void work(std::size_t worker_index);
+  void worker_loop(std::size_t worker_index);
 
   std::mutex mutex_;
   std::condition_variable work_cv_;
@@ -77,6 +90,7 @@ class ParallelStepper {
   std::uint64_t generation_ = 0;                           // guarded
   std::exception_ptr error_;                               // guarded
   bool stop_ = false;                                      // guarded
+  HostProfiler* profiler_ = nullptr;  ///< set between barriers only
 };
 
 }  // namespace mac3d

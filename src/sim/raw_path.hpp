@@ -44,6 +44,7 @@ class RawPath {
     }
     ++accepts_this_cycle_;
     queue_.push_back(request);
+    MAC3D_OBS_ACTIVITY(last_work_, now);
     accept_cycle_[key(request)] = now;
     raw_in_ += request.op != MemOp::kFence ? 1 : 0;
     MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag, now);
@@ -74,6 +75,7 @@ class RawPath {
         done.completed = now;
         ready_.push_back(done);
         queue_.pop_front();
+        MAC3D_OBS_ACTIVITY(last_work_, now);
       }
       return;
     }
@@ -93,6 +95,7 @@ class RawPath {
     ++outstanding_;
     ++packets_out_;
     queue_.pop_front();
+    MAC3D_OBS_ACTIVITY(last_work_, now);
   }
 
   std::vector<CompletedAccess> drain(Cycle now) {
@@ -110,6 +113,7 @@ class RawPath {
         out.push_back(done);
       }
     }
+    if (!out.empty()) MAC3D_OBS_ACTIVITY(last_work_, now);
 #if MAC3D_OBS_ENABLED
     if (sink_ != nullptr) {
       for (const CompletedAccess& done : out) {
@@ -173,6 +177,14 @@ class RawPath {
   /// outlive the path; pass nullptr to detach.
   void attach_sink(EventSink* sink) noexcept { sink_ = sink; }
 
+  // ---- Activity oracle (idle-cycle census, docs/OBSERVABILITY.md) --------
+  [[nodiscard]] bool did_work_this_cycle(Cycle now) const noexcept {
+    return last_work_ == now;
+  }
+  [[nodiscard]] Cycle next_activity_cycle(Cycle now) const noexcept {
+    return next_event(now);
+  }
+
  private:
   static std::uint32_t key(const RawRequest& request) noexcept {
     return (static_cast<std::uint32_t>(request.tid) << 16) | request.tag;
@@ -201,6 +213,7 @@ class RawPath {
   std::uint64_t packets_out_ = 0;
   TransactionId next_txn_ = 1;
   Cycle last_cycle_ = 0;
+  Cycle last_work_ = ~Cycle{0};  ///< census slot (MAC3D_OBS_ACTIVITY)
   RunningStat latency_;
   std::unique_ptr<ConservationChecker> conservation_;
   EventSink* sink_ = nullptr;

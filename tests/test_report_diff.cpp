@@ -1,11 +1,13 @@
 // Report schema versioning and the regression-diff tool (src/obs/
 // report_diff.*, docs/OBSERVABILITY.md §report-diff):
-//  * the flattening parser reads both schema /1 (legacy) and /2 reports;
-//  * a /2 report round-trips through the differ with a zero self-diff;
+//  * the flattening parser reads schema /1 and /2 (legacy) and /3 reports;
+//  * a /3 report round-trips through the differ with a zero self-diff;
 //  * tolerance gating fires on a perturbed metric and stays quiet inside
 //    the tolerance band;
+//  * the `host` section (wall-clock attribution) never gates a diff;
 //  * the CLI entry point returns the documented exit codes (0 in
-//    tolerance, 1 regression, 2 usage/IO/parse trouble).
+//    tolerance, 1 regression, 2 usage/IO/parse trouble) and fails loudly
+//    on mismatched schemas and unknown top-level sections.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -43,11 +45,11 @@ std::string write_temp(const std::string& name, const std::string& body) {
   return path;
 }
 
-TEST(ReportParse, ReadsSchemaV2AndFlattensNestedSections) {
+TEST(ReportParse, ReadsSchemaV3AndFlattensNestedSections) {
   FlatReport flat;
   std::string error;
   ASSERT_TRUE(parse_report(sample_report().to_json(), flat, error)) << error;
-  EXPECT_EQ(flat.schema, "mac3d-run-report/2");
+  EXPECT_EQ(flat.schema, "mac3d-run-report/3");
   EXPECT_DOUBLE_EQ(flat.numbers.at("cycles"), 123456.0);
   EXPECT_DOUBLE_EQ(flat.numbers.at("paths.mac.stats.mac.packets"), 1024.0);
   EXPECT_DOUBLE_EQ(flat.numbers.at("paths.mac.stats.mac.avg_latency"), 87.5);
@@ -71,6 +73,19 @@ TEST(ReportParse, ReadsLegacySchemaV1Reports) {
   EXPECT_EQ(flat.schema, "mac3d-run-report/1");
   EXPECT_DOUBLE_EQ(flat.numbers.at("cycles"), 99.0);
   EXPECT_DOUBLE_EQ(flat.numbers.at("paths.mac.stats.mac.packets"), 7.0);
+}
+
+TEST(ReportParse, ReadsLegacySchemaV2Reports) {
+  // A /2 document as written by pre-/3 releases: no "latency"/"host".
+  const std::string v2 =
+      "{\n  \"schema\": \"mac3d-run-report/2\",\n"
+      "  \"cycles\": 42,\n"
+      "  \"metrics\": {\"node0.router.routed\": 5}\n}\n";
+  FlatReport flat;
+  std::string error;
+  ASSERT_TRUE(parse_report(v2, flat, error)) << error;
+  EXPECT_EQ(flat.schema, "mac3d-run-report/2");
+  EXPECT_DOUBLE_EQ(flat.numbers.at("metrics.node0.router.routed"), 5.0);
 }
 
 TEST(ReportParse, RejectsUnknownSchemaAndMalformedJson) {
@@ -132,6 +147,26 @@ TEST(ReportDiff, ToleranceGatesAPerturbedMetric) {
   EXPECT_FALSE(passes.deltas[0].out_of_tolerance);
 }
 
+TEST(ReportDiff, HostSectionIsExemptByName) {
+  // Wall-clock attribution is nondeterministic by nature, so the whole
+  // `host` section is excluded from diffing — even wild swings (or the
+  // section appearing on one side only) never gate a baseline.
+  RunReport with_host = sample_report();
+  with_host.set_host(
+      "{\"phase_seconds\": {\"tick\": 1.0}, "
+      "\"workers\": {\"count\": 2, \"imbalance\": 1.5}}");
+  FlatReport a;
+  FlatReport b;
+  std::string error;
+  ASSERT_TRUE(parse_report(sample_report().to_json(), a, error)) << error;
+  ASSERT_TRUE(parse_report(with_host.to_json(), b, error)) << error;
+  EXPECT_GT(b.numbers.count("host.phase_seconds.tick"), 0u);
+
+  const DiffResult result = diff_reports(a, b, DiffOptions{});
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.deltas.empty());
+}
+
 TEST(ReportDiff, MissingMetricsGateUnlessAllowed) {
   FlatReport a;
   FlatReport b;
@@ -174,7 +209,23 @@ TEST(ReportDiffCli, ExitCodesMatchTheContract) {
   const std::string junk_path = write_temp("rd_junk.json", "not json");
   EXPECT_EQ(run_report_diff(old_path, junk_path, DiffOptions{}), 2);
 
-  for (const std::string& p : {old_path, new_path, bad_path, junk_path}) {
+  // Mismatched schema versions: silently diffing a /2 baseline against a
+  // /3 run would hide every new section, so the CLI refuses (exit 2,
+  // regenerate the baseline).
+  const std::string v2_path = write_temp(
+      "rd_v2.json", "{\n  \"schema\": \"mac3d-run-report/2\",\n"
+                    "  \"cycles\": 123456\n}\n");
+  EXPECT_EQ(run_report_diff(v2_path, new_path, DiffOptions{}), 2);
+
+  // Unknown top-level section: a typo'd or future section name must not
+  // be silently flattened and compared as if understood.
+  const std::string unknown_path = write_temp(
+      "rd_unknown.json", "{\n  \"schema\": \"mac3d-run-report/3\",\n"
+                         "  \"mystery\": {\"x\": 1}\n}\n");
+  EXPECT_EQ(run_report_diff(old_path, unknown_path, DiffOptions{}), 2);
+
+  for (const std::string& p : {old_path, new_path, bad_path, junk_path,
+                               v2_path, unknown_path}) {
     std::remove(p.c_str());
   }
 }
