@@ -56,7 +56,10 @@ struct CliOptions {
   bool closed_loop = false;
   bool checks = false;
   bool profile = false;  ///< idle-cycle census + latency/host profiling
-  std::string engine = "serial";   ///< serial | parallel (per-run engine)
+  /// serial | parallel | event | event-parallel ("" = per-command default:
+  /// run/suite use the event fast-forward engine, system the strict serial
+  /// reference — docs/PARALLELISM.md §event-driven engine).
+  std::string engine;
   std::uint32_t engine_threads = 0;  ///< 0 = hardware concurrency
   std::uint32_t jobs = 0;          ///< parallel paths/workloads (0 = env)
   std::uint32_t tag_pool = 0;      ///< streaming tag pool (0 = full 64 K)
@@ -86,9 +89,11 @@ void usage() {
                "  --set key=value   config override (repeatable)\n"
                "  --closed-loop     execution-driven feed (default: "
                "streaming)\n"
-               "  --engine E        serial | parallel cycle engine "
-               "(docs/PARALLELISM.md)\n"
-               "  --engine-threads N  workers for --engine parallel "
+               "  --engine E        serial | parallel | event | "
+               "event-parallel (docs/PARALLELISM.md;\n"
+               "                    default: event for run/suite, serial "
+               "for system)\n"
+               "  --engine-threads N  workers for the parallel engines "
                "(0 = hardware)\n"
                "  --jobs N          run paths (run) / workloads (suite) as "
                "N parallel tasks\n"
@@ -156,8 +161,15 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       options.profile = true;
     } else if (arg == "--engine") {
       options.engine = value();
-      if (options.engine != "serial" && options.engine != "parallel") {
-        std::fprintf(stderr, "unknown engine '%s' (serial|parallel)\n",
+      // "cycle" aliases make the strict engines addressable by what they
+      // are in the 4-way differential matrix.
+      if (options.engine == "cycle") options.engine = "serial";
+      if (options.engine == "cycle-parallel") options.engine = "parallel";
+      if (options.engine != "serial" && options.engine != "parallel" &&
+          options.engine != "event" && options.engine != "event-parallel") {
+        std::fprintf(stderr,
+                     "unknown engine '%s' "
+                     "(serial|parallel|event|event-parallel)\n",
                      options.engine.c_str());
         return std::nullopt;
       }
@@ -212,6 +224,16 @@ MemoryTrace make_trace(const CliOptions& options, const SimConfig& config) {
   return workload->trace(params);
 }
 
+/// --engine string -> driver engine for run/suite ("" = the event
+/// fast-forward default; all engines are bit-identical, so the default is
+/// purely a wall-clock choice).
+Engine drive_engine(const std::string& name) {
+  if (name == "parallel") return Engine::kParallel;
+  if (name == "serial") return Engine::kSerial;
+  if (name == "event-parallel") return Engine::kEventParallel;
+  return Engine::kEvent;  // "event" and the run/suite default
+}
+
 int cmd_run(const CliOptions& options) {
   const auto wall_start = std::chrono::steady_clock::now();
   const SimConfig config = make_config(options);
@@ -222,8 +244,7 @@ int cmd_run(const CliOptions& options) {
   DriveOptions drive;
   drive.mode = options.closed_loop ? FeedMode::kClosedLoop
                                    : FeedMode::kStreaming;
-  drive.engine = options.engine == "parallel" ? Engine::kParallel
-                                              : Engine::kSerial;
+  drive.engine = drive_engine(options.engine);
   drive.engine_threads = options.engine_threads;
   drive.tag_pool = options.tag_pool;
   CheckContext checks(CheckContext::FailMode::kCount);
@@ -454,8 +475,7 @@ int cmd_suite(const CliOptions& options) {
   suite.scale = options.scale;
   suite.seed = options.seed;
   suite.jobs = options.jobs == 0 ? env_jobs(1) : options.jobs;
-  suite.drive.engine = options.engine == "parallel" ? Engine::kParallel
-                                                    : Engine::kSerial;
+  suite.drive.engine = drive_engine(options.engine);
   suite.drive.engine_threads = options.engine_threads;
   suite.drive.tag_pool = options.tag_pool;
   const auto runs = run_suite(suite);
@@ -547,10 +567,19 @@ int cmd_system(const CliOptions& options) {
   if (want_sampler) system.attach_sampler(&sampler);
   if (!options.report_path.empty()) system.attach_metrics(&registry);
 
-  const SystemRunSummary summary =
-      options.engine == "parallel"
-          ? system.run_parallel(options.engine_threads)
-          : system.run();
+  // The system command defaults to the strict serial reference engine
+  // (its committed baselines predate the event engine; all four engines
+  // are bit-identical, so this is a wall-clock choice only).
+  const SystemRunSummary summary = [&] {
+    if (options.engine == "parallel") {
+      return system.run_parallel(options.engine_threads);
+    }
+    if (options.engine == "event") return system.run_event();
+    if (options.engine == "event-parallel") {
+      return system.run_event_parallel(options.engine_threads);
+    }
+    return system.run();
+  }();
   census.seal();  // probes reference nodes owned by `system`
   tracer.finish();
   if (options.checks) checks.finalize();
@@ -629,7 +658,8 @@ int cmd_system(const CliOptions& options) {
       "%u nodes, %u threads, %s records, %s engine\n"
       "cycles %s%s, requests %s, completions %s, avg latency %.0f cy\n",
       config.nodes, trace.threads(), Table::count(trace.size()).c_str(),
-      options.engine.c_str(), Table::count(summary.cycles).c_str(),
+      options.engine.empty() ? "serial" : options.engine.c_str(),
+      Table::count(summary.cycles).c_str(),
       summary.completed ? "" : " (cycle limit hit)",
       Table::count(summary.requests).c_str(),
       Table::count(summary.completions).c_str(), summary.avg_latency_cycles);

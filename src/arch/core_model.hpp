@@ -45,6 +45,26 @@ class CoreModel {
   }
 
   [[nodiscard]] std::uint64_t issued() const noexcept { return issued_; }
+
+  /// Activity oracle (docs/PARALLELISM.md §event-driven engine): earliest
+  /// cycle > `now` at which this core could issue a reference — the
+  /// nearest SPM ready time of a time-blocked thread, or now + 1 when a
+  /// thread is ready outright. 0 = no thread can issue until a completion
+  /// arrives (covered by the MAC/device oracle: the completion's delivery
+  /// cycle is an activity cycle, after which this oracle is re-asked).
+  [[nodiscard]] Cycle next_issue_cycle(Cycle now) const noexcept {
+    Cycle next = 0;
+    for (const Thread& thread : threads_) {
+      if (thread.outstanding || thread.cursor >= thread.records->size()) {
+        continue;
+      }
+      const Cycle at = thread.spm_ready_at > now ? thread.spm_ready_at
+                                                 : now + 1;
+      if (next == 0 || at < next) next = at;
+    }
+    return next;
+  }
+
   [[nodiscard]] std::uint64_t spm_accesses() const noexcept {
     return spm_.accesses();
   }

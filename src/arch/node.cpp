@@ -152,6 +152,30 @@ bool Node::drained() const noexcept {
          router_->global_queue().empty() && pending_remote_.empty();
 }
 
+bool Node::did_work_this_cycle(Cycle now) const noexcept {
+  return router_->did_work_this_cycle(now) || mac_->did_work_this_cycle(now);
+}
+
+Cycle Node::next_activity_cycle(Cycle now) const noexcept {
+  Cycle next = 0;
+  const auto merge = [&next, now](Cycle candidate) {
+    if (candidate == 0) return;  // that unit is drained
+    if (candidate <= now) candidate = now + 1;
+    if (next == 0 || candidate < next) next = candidate;
+  };
+  // Remote requests the router refused retry every cycle until routed.
+  if (!pending_remote_.empty()) merge(now + 1);
+  // Queued router work (MAC intake, outbound fabric forwarding).
+  merge(router_->next_activity_cycle(now));
+  // The MAC pipeline's own oracle covers the device: its next_event folds
+  // in the earliest in-flight device completion.
+  merge(mac_->next_event(now));
+  // Cores that can issue (completion-blocked threads wake at the delivery
+  // cycle, which the MAC/device oracle above already marks).
+  for (const CoreModel& core : cores_) merge(core.next_issue_cycle(now));
+  return next;
+}
+
 void Node::collect(StatSet& out, const std::string& prefix) const {
   device_->stats().collect(out, prefix + ".hmc");
   mac_->stats().collect(out, prefix + ".mac");

@@ -145,6 +145,86 @@ SystemRunSummary System::run(Cycle max_cycles) {
   return summary;
 }
 
+Cycle System::next_wake(Cycle now, const Interconnect* fabric,
+                        Cycle max_cycles) const {
+  Cycle next = 0;
+  const auto merge = [&next, now](Cycle candidate) {
+    if (candidate == 0) return;
+    if (candidate <= now) candidate = now + 1;
+    if (next == 0 || candidate < next) next = candidate;
+  };
+  for (const auto& node : nodes_) merge(node->next_activity_cycle(now));
+  if (fabric != nullptr) merge(fabric->next_delivery());
+  // No advertised activity but not drained either (the caller already
+  // checked): fall back to single-stepping rather than stalling.
+  if (next == 0) next = now + 1;
+  return next < max_cycles ? next : max_cycles;
+}
+
+void System::credit_skip(Cycle now, Cycle next) {
+  if (next <= now + 1) return;
+  if (census_ != nullptr) {
+    HostProfiler::Scope scope(profiler_, HostPhase::kTelemetry);
+    census_->skip_to(next);
+  }
+  if (sampler_ != nullptr) {
+    HostProfiler::Scope scope(profiler_, HostPhase::kSampler);
+    sampler_->advance_to(next - 1);
+  }
+}
+
+SystemRunSummary System::run_event(Cycle max_cycles) {
+  Interconnect* fabric = nodes_.size() > 1 ? fabric_.get() : nullptr;
+  register_probes();
+
+  bool completed = false;
+  Cycle now = 0;
+  std::uint64_t visited = 0;
+  try {
+    while (now < max_cycles) {
+      ++visited;
+      {
+        HostProfiler::Scope scope(profiler_, HostPhase::kTick);
+        for (auto& node : nodes_) node->tick(now, fabric);
+      }
+      if (census_ != nullptr) {
+        HostProfiler::Scope scope(profiler_, HostPhase::kTelemetry);
+        census_->observe(now);
+      }
+      if (sampler_ != nullptr) {
+        HostProfiler::Scope scope(profiler_, HostPhase::kSampler);
+        sampler_->advance_to(now);
+      }
+
+      bool drained = fabric == nullptr || fabric->idle();
+      if (drained) {
+        for (const auto& node : nodes_) {
+          if (!node->drained()) {
+            drained = false;
+            break;
+          }
+        }
+      }
+      if (drained) {
+        completed = true;
+        ++now;
+        break;
+      }
+      const Cycle next = next_wake(now, fabric, max_cycles);
+      credit_skip(now, next);
+      now = next;
+    }
+  } catch (...) {
+    if (sampler_ != nullptr) sampler_->abort_run();
+    throw;
+  }
+  if (sampler_ != nullptr) sampler_->end_run(now);
+  SystemRunSummary summary = summarize(now, completed);
+  summary.visited_cycles = visited;
+  finalize_metrics(summary);
+  return summary;
+}
+
 SystemRunSummary System::run_parallel(std::uint32_t threads,
                                       Cycle max_cycles) {
   if (nodes_.size() > 1 && config_.remote_hop_cycles == 0) {
@@ -235,10 +315,102 @@ SystemRunSummary System::run_parallel(std::uint32_t threads,
   return summary;
 }
 
+SystemRunSummary System::run_event_parallel(std::uint32_t threads,
+                                            Cycle max_cycles) {
+  if (nodes_.size() > 1 && config_.remote_hop_cycles == 0) {
+    // Same restriction as run_parallel: a zero-hop fabric can deliver
+    // within the sending cycle, which no barrier schedule reproduces.
+    throw std::invalid_argument(
+        "System::run_event_parallel requires remote_hop_cycles >= 1 (got 0)");
+  }
+  Interconnect* fabric = nodes_.size() > 1 ? fabric_.get() : nullptr;
+  ParallelStepper stepper(threads);
+  stepper.attach_profiler(profiler_);
+  if (profiler_ != nullptr) profiler_->set_worker_count(stepper.thread_count());
+
+  std::vector<BufferedSink> buffers(sink_ != nullptr ? nodes_.size() : 0);
+  if (sink_ != nullptr) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i]->attach_sink(&buffers[i]);
+    }
+  }
+  if (fabric != nullptr) fabric->begin_staged();
+  register_probes();
+
+  bool completed = false;
+  Cycle now = 0;
+  std::uint64_t visited = 0;
+  try {
+    while (now < max_cycles) {
+      ++visited;
+      {
+        HostProfiler::Scope scope(profiler_, HostPhase::kTick);
+        stepper.for_shards(nodes_.size(), [this, now, fabric](std::size_t i) {
+          nodes_[i]->tick(now, fabric);
+        });
+      }
+      {
+        HostProfiler::Scope scope(profiler_, HostPhase::kCommit);
+        if (fabric != nullptr) fabric->commit_staged();
+        if (sink_ != nullptr) {
+          for (BufferedSink& buffer : buffers) buffer.flush(*sink_);
+        }
+      }
+      if (census_ != nullptr) {
+        // Same serial point as every other engine: post-barrier.
+        HostProfiler::Scope scope(profiler_, HostPhase::kTelemetry);
+        census_->observe(now);
+      }
+      if (sampler_ != nullptr) {
+        HostProfiler::Scope scope(profiler_, HostPhase::kSampler);
+        sampler_->advance_to(now);
+      }
+
+      bool drained = fabric == nullptr || fabric->idle();
+      if (drained) {
+        for (const auto& node : nodes_) {
+          if (!node->drained()) {
+            drained = false;
+            break;
+          }
+        }
+      }
+      if (drained) {
+        completed = true;
+        ++now;
+        break;
+      }
+      // Post-commit serial point: the staged fabric's lanes are up to
+      // date, so the jump target sees the same state the serial engine
+      // would.
+      const Cycle next = next_wake(now, fabric, max_cycles);
+      credit_skip(now, next);
+      now = next;
+    }
+  } catch (...) {
+    if (sink_ != nullptr) {
+      for (const auto& node : nodes_) node->attach_sink(sink_);
+    }
+    if (fabric != nullptr) fabric->end_staged();
+    if (sampler_ != nullptr) sampler_->abort_run();
+    throw;
+  }
+  if (sink_ != nullptr) {
+    for (const auto& node : nodes_) node->attach_sink(sink_);
+  }
+  if (fabric != nullptr) fabric->end_staged();
+  if (sampler_ != nullptr) sampler_->end_run(now);
+  SystemRunSummary summary = summarize(now, completed);
+  summary.visited_cycles = visited;
+  finalize_metrics(summary);
+  return summary;
+}
+
 SystemRunSummary System::summarize(Cycle cycles, bool completed) const {
   SystemRunSummary summary;
   summary.cycles = cycles;
   summary.completed = completed;
+  summary.visited_cycles = cycles;
   RunningStat latency;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const Node& node = *nodes_[i];

@@ -27,6 +27,10 @@ struct SystemRunSummary {
   std::uint64_t requests = 0;   ///< core-issued main-memory references
   std::uint64_t completions = 0;
   double avg_latency_cycles = 0.0;
+  /// Cycles the engine actually ticked (== cycles for the strict cycle
+  /// engines; the event engines' skip ratio is cycles / visited_cycles).
+  /// Deliberately NOT in `stats`, so exports stay engine-invariant.
+  std::uint64_t visited_cycles = 0;
   StatSet stats;
 };
 
@@ -52,6 +56,21 @@ class System {
   /// the sending cycle, which no barrier schedule reproduces.
   SystemRunSummary run_parallel(std::uint32_t threads,
                                 Cycle max_cycles = 2'000'000'000ULL);
+
+  /// Event-driven fast-forward run (docs/PARALLELISM.md §event-driven
+  /// engine): after each visited cycle the clock jumps to the minimum of
+  /// every node's next-activity oracle and the fabric's next delivery,
+  /// crediting the skipped span to the census/sampler before the landing
+  /// tick. Bit-identical to run() — same cycles, stats, metrics, census —
+  /// enforced by tests/test_parallel_equivalence.cpp.
+  SystemRunSummary run_event(Cycle max_cycles = 2'000'000'000ULL);
+
+  /// Event-driven fast-forward over the node-sharded parallel engine
+  /// (staged fabric + worker pool, same jump rule as run_event).
+  /// Bit-identical to run() for any `threads`; same zero-hop restriction
+  /// as run_parallel.
+  SystemRunSummary run_event_parallel(std::uint32_t threads,
+                                      Cycle max_cycles = 2'000'000'000ULL);
 
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
   [[nodiscard]] std::size_t node_count() const noexcept {
@@ -109,6 +128,15 @@ class System {
  private:
   /// Shared end-of-run accounting (node order, both engines).
   SystemRunSummary summarize(Cycle cycles, bool completed) const;
+  /// Event-engine jump target after ticking `now`: the minimum of every
+  /// node's next-activity oracle and the fabric's next delivery, floored
+  /// at now + 1 and clamped to `max_cycles`.
+  [[nodiscard]] Cycle next_wake(Cycle now, const Interconnect* fabric,
+                                Cycle max_cycles) const;
+  /// Credit the span (now, next) the event engine is about to skip to the
+  /// census and sampler — before the landing tick, while device busy
+  /// thresholds are frozen.
+  void credit_skip(Cycle now, Cycle next);
   /// begin_run + per-node/fabric probe registration (no-op when detached).
   void register_probes();
   /// End-of-run gauge writes (serial point; see attach_metrics).

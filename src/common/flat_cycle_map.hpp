@@ -1,0 +1,102 @@
+// Open-addressed flat map keyed by a packed 32-bit (tid, tag) used to
+// remember per-request accept cycles on the MAC / raw-path hot loops.
+// Replaces std::unordered_map there: one contiguous allocation, linear
+// probing, backward-shift deletion (no tombstones), and no iteration API
+// at all — so it cannot introduce unordered-iteration nondeterminism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mac3d {
+
+/// uint32 -> Cycle map supporting exactly the hot-path operations the
+/// accept-cycle tables need: put (insert-or-assign) and take (find +
+/// erase, returning a fallback when absent). Deterministic by
+/// construction: probe order depends only on the key sequence.
+class FlatCycleMap {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void put(std::uint32_t key, Cycle value) {
+    // Keep load factor under 3/4 (counting the incoming insert).
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) grow();
+    std::size_t i = home(key);
+    while (slots_[i].used) {
+      if (slots_[i].key == key) {
+        slots_[i].value = value;
+        return;
+      }
+      i = next(i);
+    }
+    slots_[i] = Slot{key, value, true};
+    ++size_;
+  }
+
+  /// Remove `key` and return its value, or `fallback` when absent.
+  [[nodiscard]] Cycle take(std::uint32_t key, Cycle fallback) noexcept {
+    if (slots_.empty()) return fallback;
+    std::size_t i = home(key);
+    while (slots_[i].used) {
+      if (slots_[i].key == key) {
+        const Cycle value = slots_[i].value;
+        erase_slot(i);
+        return value;
+      }
+      i = next(i);
+    }
+    return fallback;
+  }
+
+  void clear() noexcept {
+    for (Slot& slot : slots_) slot.used = false;
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint32_t key = 0;
+    Cycle value = 0;
+    bool used = false;
+  };
+
+  [[nodiscard]] std::size_t home(std::uint32_t key) const noexcept {
+    // Fibonacci multiplicative hash; capacity is a power of two.
+    return static_cast<std::size_t>(key * 0x9E3779B9u) & (slots_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
+    return (i + 1) & (slots_.size() - 1);
+  }
+
+  void erase_slot(std::size_t i) noexcept {
+    // Backward-shift deletion keeps probe chains gap-free, so lookups
+    // never need tombstone checks.
+    std::size_t j = next(i);
+    while (slots_[j].used && home(slots_[j].key) != j) {
+      slots_[i] = slots_[j];
+      i = j;
+      j = next(j);
+    }
+    slots_[i].used = false;
+    --size_;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    size_ = 0;
+    for (const Slot& slot : old) {
+      if (slot.used) put(slot.key, slot.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mac3d

@@ -1,0 +1,76 @@
+// Growable ring-buffer FIFO for unbounded hot-path queues (MAC issue
+// queue, raw-path access queue, builder output). Unlike FixedQueue this
+// has no capacity ceiling — it doubles in place — but keeps the same
+// cache-friendly contiguous storage instead of std::deque's paged nodes.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mac3d {
+
+/// Unbounded FIFO over a contiguous power-of-two ring. push_back is
+/// amortized O(1); iteration order is insertion order (deterministic).
+template <typename T>
+class RingQueue {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void push_back(T value) {
+    if (size_ == buffer_.size()) grow();
+    buffer_[wrap(head_ + size_)] = std::move(value);
+    ++size_;
+  }
+
+  [[nodiscard]] T& front() {
+    assert(!empty());
+    return buffer_[head_];
+  }
+
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return buffer_[head_];
+  }
+
+  void pop_front() {
+    assert(!empty());
+    buffer_[head_] = T{};  // release held resources eagerly
+    head_ = wrap(head_ + 1);
+    --size_;
+  }
+
+  /// Element i positions from the head (0 == front).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < size_);
+    return buffer_[wrap(head_ + i)];
+  }
+
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) buffer_[wrap(head_ + i)] = T{};
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t wrap(std::size_t idx) const noexcept {
+    return idx & (buffer_.size() - 1);  // capacity is a power of two
+  }
+
+  void grow() {
+    std::vector<T> bigger(buffer_.empty() ? 8 : buffer_.size() * 2);
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = std::move(buffer_[wrap(head_ + i)]);
+    }
+    buffer_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> buffer_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mac3d

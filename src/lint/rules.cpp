@@ -19,6 +19,11 @@ namespace {
 // ---- Catalog -------------------------------------------------------------
 
 const std::vector<RuleInfo> kCatalog = {
+    {"det.activity_oracle", "DET",
+     "a header-declared tickable component (void tick(Cycle ...)) must "
+     "also advertise the activity-oracle pair did_work_this_cycle / "
+     "next_activity_cycle that the event-driven fast-forward engine and "
+     "the idle census consume (docs/PARALLELISM.md)"},
     {"det.env_access", "DET",
      "environment reads outside the config layer make runs depend on "
      "ambient state; route configuration through SimConfig"},
@@ -266,6 +271,43 @@ void det_unordered_iteration(const FileTokens& file,
                       tokens[i].text +
                       "' visits hash order; iterate a sorted view or use "
                       "std::map (serial/parallel bit-identity contract)");
+    }
+  }
+}
+
+// ---- DET: det.activity_oracle --------------------------------------------
+
+void det_activity_oracle(const FileTokens& file, std::vector<Finding>& out) {
+  // Headers only: the contract is about the component's public interface,
+  // and implementation files repeat the method names anyway.
+  if (file.path.size() < 4 ||
+      file.path.compare(file.path.size() - 4, 4, ".hpp") != 0) {
+    return;
+  }
+  const auto& tokens = file.tokens;
+  bool has_did_work = false;
+  bool has_next_activity = false;
+  for (const Token& token : tokens) {
+    if (token.kind != Tok::kIdent) continue;
+    if (token.text == "did_work_this_cycle") has_did_work = true;
+    if (token.text == "next_activity_cycle") has_next_activity = true;
+  }
+  if (has_did_work && has_next_activity) return;
+  std::string missing;
+  if (!has_did_work) missing = "did_work_this_cycle";
+  if (!has_next_activity) {
+    if (!missing.empty()) missing += " and ";
+    missing += "next_activity_cycle";
+  }
+  for (std::size_t i = 0; i + 3 < tokens.size(); ++i) {
+    if (is_ident(tokens[i], "void") && is_ident(tokens[i + 1], "tick") &&
+        is_punct(tokens[i + 2], "(") && is_ident(tokens[i + 3], "Cycle")) {
+      add_finding(out, "det.activity_oracle", file.path, tokens[i + 1].line,
+                  tokens[i + 1].col,
+                  "tickable component declares tick(Cycle) but not " +
+                      missing +
+                      "; the event-driven engine and idle census need the "
+                      "activity-oracle pair (docs/PARALLELISM.md)");
     }
   }
 }
@@ -852,6 +894,7 @@ void run_file_rules(const RepoModel& model, const FileTokens& file,
     det_banned_idents(file, out);
     det_unordered_iteration(file, out);
     det_static_mutable_local(file, out);
+    det_activity_oracle(file, out);
     obs_zero_cost_sites(file, out);
   }
   // Grammar/taxonomy rules also cover the CLI, which registers metrics

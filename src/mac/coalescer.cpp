@@ -90,7 +90,7 @@ bool MacCoalescer::try_accept(const RawRequest& request, Cycle now) {
   } else {
     ++stats_.raw_in;
   }
-  accept_cycle_[key(Target{request.tid, request.tag, 0})] = now;
+  accept_cycle_.put(key(Target{request.tid, request.tag, 0}), now);
 #if MAC3D_CHECKS_ENABLED
   if (conservation_ != nullptr) {
     conservation_->on_accept(request.tid, request.tag, request.op, now);
@@ -128,9 +128,7 @@ void MacCoalescer::pop_stage(Cycle now) {
       CompletedAccess done;
       done.target = fence.targets.front();
       done.fence = true;
-      const auto it = accept_cycle_.find(key(done.target));
-      done.accepted = it != accept_cycle_.end() ? it->second : now;
-      if (it != accept_cycle_.end()) accept_cycle_.erase(it);
+      done.accepted = accept_cycle_.take(key(done.target), now);
       done.completed = now;
       ready_completions_.push_back(done);
       MAC3D_OBS_ACTIVITY(arq_last_work_, now);
@@ -240,9 +238,7 @@ std::vector<CompletedAccess> MacCoalescer::drain(Cycle now) {
       done.target = target;
       done.write = response.write;
       done.completed = response.completed;
-      const auto it = accept_cycle_.find(key(target));
-      done.accepted = it != accept_cycle_.end() ? it->second : response.completed;
-      if (it != accept_cycle_.end()) accept_cycle_.erase(it);
+      done.accepted = accept_cycle_.take(key(target), response.completed);
       stats_.raw_latency_cycles.add(
           static_cast<double>(done.completed - done.accepted));
       out.push_back(done);

@@ -12,13 +12,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_cycle_map.hpp"
+#include "common/ring_queue.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mac/arq.hpp"
@@ -178,9 +178,9 @@ class MacCoalescer {
   HmcDevice& device_;
   Arq arq_;
   RequestBuilder builder_;
-  std::deque<IssueItem> issue_queue_;
+  RingQueue<IssueItem> issue_queue_;
   std::vector<CompletedAccess> ready_completions_;
-  std::unordered_map<std::uint32_t, Cycle> accept_cycle_;
+  FlatCycleMap accept_cycle_;
   Cycle next_pop_at_ = 0;
   Cycle last_tick_ = 0;
   Cycle merge_port_used_at_ = ~Cycle{0};  ///< dual-port intake bookkeeping

@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 
 #include "common/config.hpp"
+#include "common/ring_queue.hpp"
 #include "common/types.hpp"
 #include "mac/arq.hpp"
 #include "mac/flit_table.hpp"
@@ -87,7 +87,7 @@ class RequestBuilder {
   std::uint32_t groups_;
   std::uint32_t flits_per_row_;
   Cycle next_accept_at_ = 0;
-  std::deque<Built> out_;
+  RingQueue<Built> out_;
   BuilderStats stats_;
   CheckContext* checks_ = nullptr;
   bool truncate_next_ = false;

@@ -18,9 +18,15 @@ double host_now_seconds() {
 }
 
 std::size_t ActivityCensus::add_component(std::string name, Probe probe) {
+  return add_component(std::move(name), std::move(probe), RangeProbe{});
+}
+
+std::size_t ActivityCensus::add_component(std::string name, Probe probe,
+                                          RangeProbe range) {
   const std::size_t index = rows_.size();
   rows_.push_back({std::move(name), 0, 0});
   probes_.push_back(std::move(probe));
+  range_probes_.push_back(std::move(range));
   return index;
 }
 
@@ -51,9 +57,34 @@ void ActivityCensus::observe(Cycle now) {
   observed_any_ = true;
 }
 
+void ActivityCensus::skip_to(Cycle next) {
+  // Span of cycles the engine is about to jump over, strictly before the
+  // landing cycle `next` (which observe(next) will account after its
+  // tick). Called before that tick, so range probes see the busy
+  // thresholds exactly as they stood throughout the span.
+  const Cycle first = observed_any_ ? last_observed_ + 1 : 0;
+  if (next <= first) return;
+  const Cycle last = next - 1;
+  const std::uint64_t span = last - first + 1;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    std::uint64_t active = 0;
+    if (i != feeder_index_ && range_probes_[i]) {
+      active = range_probes_[i](first, last);
+      if (active > span) active = span;
+    }
+    rows_[i].active_cycles += active;
+    rows_[i].idle_cycles += span - active;
+  }
+  observed_cycles_ += span;
+  last_observed_ = last;
+  observed_any_ = true;
+}
+
 void ActivityCensus::seal() {
   probes_.clear();
   probes_.resize(rows_.size());
+  range_probes_.clear();
+  range_probes_.resize(rows_.size());
   feeder_index_ = kNoFeeder;  // the feeder's marker may dangle too
 }
 

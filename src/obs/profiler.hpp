@@ -51,11 +51,20 @@ concept ActivityComponent = requires(const T& t, Cycle now) {
 /// Components register a probe (or satisfy ActivityComponent); the run
 /// owner calls observe(now) once per simulated cycle at a serial point.
 /// Cycles the engine never visited (time skips) count as idle for every
-/// component — the driver only skips cycles where provably nothing
-/// happens, which is exactly the dead time the census exists to measure.
+/// component — the driver only skips cycles where provably no component
+/// does work — unless the component registered a range probe: device
+/// state like "bank busy until cycle c" is active during skipped spans
+/// even though nothing ticks, and the range probe credits those cycles
+/// exactly, so the event engine's census stays byte-identical to the
+/// cycle engine's. The engine must call skip_to(next) BEFORE ticking the
+/// landing cycle: the landing tick can raise busy thresholds, which
+/// would falsely mark the skipped span active.
 class ActivityCensus {
  public:
   using Probe = std::function<bool(Cycle)>;
+  /// Active-cycle count over the inclusive span [first, last], evaluated
+  /// against the component's current (frozen, mid-skip) state.
+  using RangeProbe = std::function<std::uint64_t(Cycle, Cycle)>;
 
   struct Row {
     std::string name;
@@ -66,6 +75,12 @@ class ActivityCensus {
   /// Register a component under `name` with an explicit activity probe.
   /// Returns the component's census index.
   std::size_t add_component(std::string name, Probe probe);
+
+  /// Register a component whose activity persists across skipped spans
+  /// (threshold-form device state): `probe` answers visited cycles,
+  /// `range` answers "how many cycles in [first, last] were active"
+  /// for spans the event engine fast-forwards over.
+  std::size_t add_component(std::string name, Probe probe, RangeProbe range);
 
   /// Register any ActivityComponent; the probe delegates to its
   /// did_work_this_cycle. The component must outlive the observed run
@@ -86,6 +101,14 @@ class ActivityCensus {
   /// from the last observed cycle books the skipped cycles as idle for
   /// every component. Call only from serial points.
   void observe(Cycle now);
+
+  /// Account the skipped span strictly before `next` (the event engine's
+  /// landing cycle): every cycle after the last observed one and before
+  /// `next` books via the component's range probe (all-idle without one).
+  /// Must run before the landing cycle is ticked — range probes read the
+  /// busy thresholds as frozen during the skip. The landing cycle itself
+  /// is then accounted by the usual observe(next).
+  void skip_to(Cycle next);
 
   /// Drop every probe, keeping the accumulated counts. Call before the
   /// probed components are destroyed (mirrors the SamplerWindow hazard:
@@ -115,7 +138,8 @@ class ActivityCensus {
   static constexpr std::size_t kNoFeeder = static_cast<std::size_t>(-1);
 
   std::vector<Row> rows_;
-  std::vector<Probe> probes_;  // parallel to rows_ until seal()
+  std::vector<Probe> probes_;             // parallel to rows_ until seal()
+  std::vector<RangeProbe> range_probes_;  // parallel to rows_ until seal()
   std::size_t feeder_index_ = kNoFeeder;
   Cycle feeder_marked_at_ = ~Cycle{0};
   bool observed_any_ = false;

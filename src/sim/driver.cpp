@@ -91,6 +91,7 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
   Cycle now = 0;
   LoopResult result;
   std::uint32_t turn = 0;
+  const bool event_engine = engine_is_event(options.engine);
 #if MAC3D_OBS_ENABLED
   ActivityCensus* const census = options.census;
   HostProfiler* const profiler = options.profiler;
@@ -182,7 +183,16 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
     }
 #endif
 
-    // Advance time.
+    // Advance time. The strict cycle engines always step one cycle (the
+    // reference semantics); the event engines jump to the minimum
+    // next-activity cycle — the feeder's earliest arrival and the path's
+    // next_event oracle — crediting the skipped span to the census and
+    // sampler BEFORE the landing tick (which can raise device busy
+    // thresholds and would falsely mark the span active).
+    if (!event_engine) {
+      ++now;
+      continue;
+    }
     Cycle next = kNever;
     if (records_left > 0) {
       Cycle earliest = kNever;
@@ -209,7 +219,17 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
     }
     const Cycle path_next = path.next_event(now);
     if (path_next > now) next = std::min(next, path_next);
-    now = (next == kNever || next <= now) ? now + 1 : next;
+    next = (next == kNever || next <= now) ? now + 1 : next;
+    if (next > now + 1) {
+      if (census != nullptr) census->skip_to(next);
+#if MAC3D_OBS_ENABLED
+      if (options.sampler != nullptr) {
+        HostProfiler::Scope scope(profiler, HostPhase::kSampler);
+        options.sampler->advance_to(next - 1);
+      }
+#endif
+    }
+    now = next;
   }
   return result;
 }
@@ -249,6 +269,7 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
   LoopResult result;
   std::uint32_t turn = 0;
   std::uint64_t outstanding_total = 0;
+  const bool event_engine = engine_is_event(options.engine);
 #if MAC3D_OBS_ENABLED
   ActivityCensus* const census = options.census;
   HostProfiler* const profiler = options.profiler;
@@ -363,8 +384,13 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
     }
 #endif
 
-    // Advance time: immediately if another request can go now, else to the
-    // earliest of (path event, thread ready time).
+    // Advance time. Strict cycle engines step one cycle; event engines
+    // jump to the earliest of (path event, thread ready time), crediting
+    // the skipped span before the landing tick (see run_streaming).
+    if (!event_engine) {
+      ++now;
+      continue;
+    }
     Cycle next = kNever;
     if (records_left > 0) {
       bool now_issuable = false;
@@ -403,7 +429,17 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
     }
     const Cycle path_next = path.next_event(now);
     if (path_next > now) next = std::min(next, path_next);
-    now = (next == kNever || next <= now) ? now + 1 : next;
+    next = (next == kNever || next <= now) ? now + 1 : next;
+    if (next > now + 1) {
+      if (census != nullptr) census->skip_to(next);
+#if MAC3D_OBS_ENABLED
+      if (options.sampler != nullptr) {
+        HostProfiler::Scope scope(profiler, HostPhase::kSampler);
+        options.sampler->advance_to(next - 1);
+      }
+#endif
+    }
+    now = next;
   }
   return result;
 }
@@ -433,14 +469,15 @@ DriverResult finish(Path& path, const HmcDevice& device,
   return result;
 }
 
-/// Per-run engine state: in kParallel the device runs staged and a
-/// ParallelStepper commits its per-cycle work at the loop barrier; in
-/// kSerial the barrier is a no-op and no pool is spawned.
+/// Per-run engine state: under the parallel engines the device runs
+/// staged and a ParallelStepper commits its per-cycle work at the loop
+/// barrier; under the serial engines the barrier is a no-op and no pool
+/// is spawned.
 class EngineWindow {
  public:
   EngineWindow(const DriveOptions& options, HmcDevice& device)
       : device_(device) {
-    if (options.engine == Engine::kParallel) {
+    if (engine_is_parallel(options.engine)) {
       stepper_ = std::make_unique<ParallelStepper>(options.engine_threads);
       device.begin_staged();
     }

@@ -40,23 +40,50 @@ enum class FeedMode {
 };
 
 /// Which execution engine steps the memory pipeline (docs/PARALLELISM.md).
+/// All four produce bit-identical results — the cycle engines are the
+/// reference semantics, the event engines are the fast path, and
+/// tests/test_parallel_equivalence.cpp enforces the 4-way equality.
 enum class Engine {
-  /// Single-threaded reference scheduler (the default).
+  /// Strict cycle loop, single-threaded: ticks every component every
+  /// cycle. The reference scheduler the differential suite compares
+  /// everything else against.
   kSerial,
-  /// Deterministic parallel engine: the device runs in staged mode and a
-  /// ParallelStepper times link-quadrant shards concurrently between
-  /// per-cycle barriers. Bit-identical to kSerial for any thread count.
+  /// Strict cycle loop, deterministic parallel: the device runs in staged
+  /// mode and a ParallelStepper times link-quadrant shards concurrently
+  /// between per-cycle barriers. Bit-identical to kSerial for any thread
+  /// count.
   kParallel,
+  /// Event-driven fast-forward, single-threaded (the default): the
+  /// Activity oracle (`next_activity_cycle`, src/obs/profiler.hpp) is the
+  /// scheduling contract — the driver jumps the clock to the minimum
+  /// next-activity cycle instead of ticking dead cycles, crediting the
+  /// skipped span to the census/sampler before the landing tick so every
+  /// export stays byte-identical to kSerial.
+  kEvent,
+  /// Event-driven fast-forward over the staged parallel engine.
+  kEventParallel,
 };
+
+/// True for the engines that fast-forward over provably-dead cycles.
+[[nodiscard]] constexpr bool engine_is_event(Engine engine) noexcept {
+  return engine == Engine::kEvent || engine == Engine::kEventParallel;
+}
+
+/// True for the engines that run the staged parallel pipeline.
+[[nodiscard]] constexpr bool engine_is_parallel(Engine engine) noexcept {
+  return engine == Engine::kParallel || engine == Engine::kEventParallel;
+}
 
 struct DriveOptions {
   FeedMode mode = FeedMode::kStreaming;
-  /// Execution engine for the run. kParallel produces bit-identical
-  /// results to kSerial (tests/test_parallel_equivalence.cpp enforces it).
-  Engine engine = Engine::kSerial;
-  /// Worker threads for Engine::kParallel (0 = hardware concurrency,
-  /// 1 = the parallel code path with inline execution). Ignored by
-  /// kSerial. The thread count never changes results, only wall-clock.
+  /// Execution engine for the run. All engines produce bit-identical
+  /// results (tests/test_parallel_equivalence.cpp enforces the 4-way
+  /// matrix); kEvent is the fast default.
+  Engine engine = Engine::kEvent;
+  /// Worker threads for the parallel engines (0 = hardware concurrency,
+  /// 1 = the parallel code path with inline execution). Ignored by the
+  /// serial engines. The thread count never changes results, only
+  /// wall-clock.
   std::uint32_t engine_threads = 0;
   /// Streaming feeder: per-thread MSHR-style tag pool size (simultaneously
   /// outstanding requests per thread). 0 = the full 2 B tag space, which

@@ -6,16 +6,16 @@
 
 #include <cassert>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "check/check.hpp"
 #include "check/conservation.hpp"
 #include "common/bitutil.hpp"
 #include "common/config.hpp"
+#include "common/flat_cycle_map.hpp"
+#include "common/ring_queue.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mac/coalescer.hpp"  // CompletedAccess
@@ -45,7 +45,7 @@ class RawPath {
     ++accepts_this_cycle_;
     queue_.push_back(request);
     MAC3D_OBS_ACTIVITY(last_work_, now);
-    accept_cycle_[key(request)] = now;
+    accept_cycle_.put(key(request), now);
     raw_in_ += request.op != MemOp::kFence ? 1 : 0;
     MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag, now);
 #if MAC3D_CHECKS_ENABLED
@@ -194,19 +194,15 @@ class RawPath {
   }
 
   Cycle take_accept(const Target& target, Cycle fallback) {
-    const auto it = accept_cycle_.find(key(target));
-    if (it == accept_cycle_.end()) return fallback;
-    const Cycle accepted = it->second;
-    accept_cycle_.erase(it);
-    return accepted;
+    return accept_cycle_.take(key(target), fallback);
   }
 
   HmcDevice& device_;
   std::size_t queue_capacity_;
   Cycle accepts_at_ = ~Cycle{0};
   std::uint32_t accepts_this_cycle_ = 0;
-  std::deque<RawRequest> queue_;
-  std::unordered_map<std::uint32_t, Cycle> accept_cycle_;
+  RingQueue<RawRequest> queue_;
+  FlatCycleMap accept_cycle_;
   std::vector<CompletedAccess> ready_;
   std::uint64_t outstanding_ = 0;
   std::uint64_t raw_in_ = 0;

@@ -1,0 +1,19 @@
+// Conforming counterpart to tickable_no_oracle.hpp: the tickable widget
+// advertises the full activity-oracle pair.
+#pragma once
+
+namespace mini {
+
+using Cycle = unsigned long long;
+
+class Widget {
+ public:
+  void tick(Cycle now) { last_ = now; }
+  bool did_work_this_cycle(Cycle now) const { return last_ == now; }
+  Cycle next_activity_cycle(Cycle) const { return 0; }
+
+ private:
+  Cycle last_ = 0;
+};
+
+}  // namespace mini

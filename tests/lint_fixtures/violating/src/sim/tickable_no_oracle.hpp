@@ -1,0 +1,19 @@
+// det.activity_oracle: a tickable component that never advertises the
+// did_work_this_cycle / next_activity_cycle pair the event-driven engine
+// and the idle census consume.
+#pragma once
+
+namespace mini {
+
+using Cycle = unsigned long long;
+
+class Widget {
+ public:
+  void tick(Cycle now) { last_ = now; }
+  bool idle() const { return true; }
+
+ private:
+  Cycle last_ = 0;
+};
+
+}  // namespace mini

@@ -1,9 +1,12 @@
-// Differential equivalence suite for the deterministic parallel engine
-// (docs/PARALLELISM.md): Engine::kParallel must be bit-identical to
-// Engine::kSerial — same StatSets (compared as full-precision JSON), same
-// run reports, same invariant-check counters — for every path, feed mode
-// and worker count, and System::run_parallel must match System::run. A
-// randomized-config fuzz loop widens the net beyond the hand-picked grid.
+// Differential equivalence suite for the deterministic engines
+// (docs/PARALLELISM.md): every engine — Engine::kParallel (node-sharded),
+// Engine::kEvent (fast-forward) and Engine::kEventParallel — must be
+// bit-identical to Engine::kSerial: same StatSets (compared as
+// full-precision JSON), same run reports, same invariant-check counters,
+// same idle-census exports — for every path, feed mode and worker count.
+// System::run_parallel / run_event / run_event_parallel must likewise
+// match System::run. A randomized-config fuzz loop widens the net beyond
+// the hand-picked grid.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -14,6 +17,7 @@
 #include "check/check.hpp"
 #include "common/config.hpp"
 #include "common/rng.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/run_report.hpp"
 #include "sim/driver.hpp"
@@ -56,14 +60,16 @@ MemoryTrace locality_trace(double locality, std::uint32_t threads,
 }
 
 /// Run one path under the given options and render everything comparable
-/// about the run into one JSON string: the full StatSet plus the check
-/// counters. String equality == bit identity (StatSet::to_json prints
-/// doubles at full round-trip precision).
+/// about the run into one JSON string: the full StatSet, the check
+/// counters and the idle-census export. String equality == bit identity
+/// (StatSet::to_json prints doubles at full round-trip precision).
 std::string run_fingerprint(const std::string& path, const MemoryTrace& trace,
                             const SimConfig& config, std::uint32_t threads,
                             DriveOptions options) {
   CheckContext checks(CheckContext::FailMode::kCount);
+  ActivityCensus census;
   options.checks = &checks;
+  options.census = &census;
   DriverResult result;
   if (path == "mac") {
     result = run_mac(trace, config, threads, options);
@@ -76,12 +82,24 @@ std::string run_fingerprint(const std::string& path, const MemoryTrace& trace,
   result.collect(stats, path);
   stats.set("checks.run", static_cast<double>(result.checks_run));
   stats.set("checks.violations", static_cast<double>(result.check_violations));
-  return stats.to_json();
+  census.seal();
+  return stats.to_json() + "\n" + census.to_json();
+}
+
+const char* engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::kSerial: return "serial";
+    case Engine::kParallel: return "parallel";
+    case Engine::kEvent: return "event";
+    case Engine::kEventParallel: return "eventparallel";
+  }
+  return "unknown";
 }
 
 struct GridCase {
   const char* path;
   FeedMode mode;
+  Engine engine;
   std::uint32_t engine_threads;
 };
 
@@ -89,13 +107,13 @@ std::string case_name(const ::testing::TestParamInfo<GridCase>& info) {
   const GridCase& c = info.param;
   return std::string(c.path) +
          (c.mode == FeedMode::kStreaming ? "_streaming_" : "_closedloop_") +
-         std::to_string(c.engine_threads) + "t";
+         engine_name(c.engine) + "_" + std::to_string(c.engine_threads) + "t";
 }
 
-// ------------------------- paths x feed modes x worker counts, full grid
+// ------------- paths x feed modes x engines x worker counts, full grid
 class EngineGrid : public ::testing::TestWithParam<GridCase> {};
 
-TEST_P(EngineGrid, ParallelMatchesSerialBitForBit) {
+TEST_P(EngineGrid, EngineMatchesSerialBitForBit) {
   const GridCase& c = GetParam();
   SimConfig config;
   const MemoryTrace trace = locality_trace(0.6, 8, 300, 17);
@@ -106,11 +124,11 @@ TEST_P(EngineGrid, ParallelMatchesSerialBitForBit) {
   const std::string expected =
       run_fingerprint(c.path, trace, config, 8, serial);
 
-  DriveOptions parallel = serial;
-  parallel.engine = Engine::kParallel;
-  parallel.engine_threads = c.engine_threads;
+  DriveOptions candidate = serial;
+  candidate.engine = c.engine;
+  candidate.engine_threads = c.engine_threads;
   const std::string actual =
-      run_fingerprint(c.path, trace, config, 8, parallel);
+      run_fingerprint(c.path, trace, config, 8, candidate);
 
   EXPECT_EQ(expected, actual);
 }
@@ -119,15 +137,19 @@ std::vector<GridCase> grid_cases() {
   std::vector<GridCase> cases;
   for (const char* path : {"mac", "raw", "mshr"}) {
     for (const FeedMode mode : {FeedMode::kStreaming, FeedMode::kClosedLoop}) {
+      // The event engine is single-threaded; the staged engines sweep
+      // worker counts.
+      cases.push_back({path, mode, Engine::kEvent, 1});
       for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
-        cases.push_back({path, mode, threads});
+        cases.push_back({path, mode, Engine::kParallel, threads});
+        cases.push_back({path, mode, Engine::kEventParallel, threads});
       }
     }
   }
   return cases;
 }
 
-INSTANTIATE_TEST_SUITE_P(AllPathsModesThreads, EngineGrid,
+INSTANTIATE_TEST_SUITE_P(AllPathsModesEnginesThreads, EngineGrid,
                          ::testing::ValuesIn(grid_cases()), case_name);
 
 // ----------------------------------------------------- run-report parity
@@ -158,9 +180,12 @@ TEST(ReportEquivalence, SerialAndParallelReportsRenderIdentically) {
   };
 
   // The report deliberately carries no engine marker (apps/mac3d_cli.cpp),
-  // so a serial report and a parallel report of the same run are the same
-  // bytes — the CI equivalence job diffs them as artifacts.
-  EXPECT_EQ(render(Engine::kSerial), render(Engine::kParallel));
+  // so reports of the same run under any engine are the same bytes — the
+  // CI equivalence jobs diff them as artifacts.
+  const std::string reference = render(Engine::kSerial);
+  EXPECT_EQ(reference, render(Engine::kParallel));
+  EXPECT_EQ(reference, render(Engine::kEvent));
+  EXPECT_EQ(reference, render(Engine::kEventParallel));
 }
 
 // ---------------------------------- closed-loop System engine equivalence
@@ -188,6 +213,90 @@ TEST(SystemEquivalence, RunParallelMatchesRunAcrossThreadCounts) {
     EXPECT_EQ(expected.stats.to_json(), actual.stats.to_json())
         << threads << " threads";
   }
+}
+
+TEST(SystemEquivalence, RunEventMatchesRunAndSkipsCycles) {
+  SimConfig config;
+  config.nodes = 2;
+  config.cores = 2;
+  const MemoryTrace trace = locality_trace(0.5, 8, 200, 41);
+
+  System reference(config);
+  reference.attach_trace(trace);
+  const SystemRunSummary expected = reference.run();
+  ASSERT_TRUE(expected.completed);
+  // The strict engine visits every cycle by definition.
+  EXPECT_EQ(expected.visited_cycles, expected.cycles);
+
+  System system(config);
+  system.attach_trace(trace);
+  const SystemRunSummary actual = system.run_event();
+  EXPECT_TRUE(actual.completed);
+  EXPECT_EQ(expected.cycles, actual.cycles);
+  EXPECT_EQ(expected.requests, actual.requests);
+  EXPECT_EQ(expected.completions, actual.completions);
+  EXPECT_EQ(expected.stats.to_json(), actual.stats.to_json());
+  // The whole point of the engine: it must have jumped over dead spans.
+  EXPECT_LT(actual.visited_cycles, actual.cycles);
+  EXPECT_GT(actual.visited_cycles, 0u);
+}
+
+TEST(SystemEquivalence, RunEventParallelMatchesRunAcrossThreadCounts) {
+  SimConfig config;
+  config.nodes = 2;
+  config.cores = 2;
+  const MemoryTrace trace = locality_trace(0.5, 8, 200, 41);
+
+  System reference(config);
+  reference.attach_trace(trace);
+  const SystemRunSummary expected = reference.run();
+  ASSERT_TRUE(expected.completed);
+
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    System system(config);
+    system.attach_trace(trace);
+    const SystemRunSummary actual = system.run_event_parallel(threads);
+    EXPECT_TRUE(actual.completed) << threads << " threads";
+    EXPECT_EQ(expected.cycles, actual.cycles) << threads << " threads";
+    EXPECT_EQ(expected.requests, actual.requests) << threads << " threads";
+    EXPECT_EQ(expected.completions, actual.completions)
+        << threads << " threads";
+    EXPECT_EQ(expected.stats.to_json(), actual.stats.to_json())
+        << threads << " threads";
+    EXPECT_LT(actual.visited_cycles, actual.cycles) << threads << " threads";
+  }
+}
+
+TEST(SystemEquivalence, CensusAndMetricsMatchAcrossAllFourSystemEngines) {
+  SimConfig config;
+  config.nodes = 2;
+  config.cores = 2;
+  const MemoryTrace trace = locality_trace(0.5, 8, 150, 59);
+
+  // 0 = run, 1 = run_parallel, 2 = run_event, 3 = run_event_parallel.
+  const auto fingerprint = [&](int engine) {
+    System system(config);
+    MetricsRegistry registry;
+    ActivityCensus census;
+    system.attach_metrics(&registry);
+    system.attach_census(&census);
+    system.attach_trace(trace);
+    SystemRunSummary summary;
+    switch (engine) {
+      case 0: summary = system.run(); break;
+      case 1: summary = system.run_parallel(4); break;
+      case 2: summary = system.run_event(); break;
+      default: summary = system.run_event_parallel(4); break;
+    }
+    EXPECT_TRUE(summary.completed);
+    census.seal();
+    return census.to_json() + "\n" + registry.to_json();
+  };
+
+  const std::string reference = fingerprint(0);
+  EXPECT_EQ(reference, fingerprint(1));
+  EXPECT_EQ(reference, fingerprint(2));
+  EXPECT_EQ(reference, fingerprint(3));
 }
 
 TEST(SystemEquivalence, MetricsRegistryExportsAreByteIdentical) {
@@ -238,6 +347,18 @@ TEST(SystemEquivalence, ZeroHopFabricIsRejected) {
   System system(config);
   system.attach_trace(trace);
   EXPECT_THROW(system.run_parallel(2), std::invalid_argument);
+  // The staged restriction applies to the event-parallel engine too...
+  System event_system(config);
+  event_system.attach_trace(trace);
+  EXPECT_THROW(event_system.run_event_parallel(2), std::invalid_argument);
+  // ...but not to the serial event engine, which uses the live fabric.
+  System serial_event(config);
+  serial_event.attach_trace(trace);
+  System serial_reference(config);
+  serial_reference.attach_trace(trace);
+  const SystemRunSummary expected = serial_reference.run();
+  const SystemRunSummary actual = serial_event.run_event();
+  EXPECT_EQ(expected.stats.to_json(), actual.stats.to_json());
 }
 
 TEST(SystemEquivalence, ChecksMatchUnderBothEngines) {
@@ -291,6 +412,7 @@ TEST_P(EquivalenceFuzz, RandomConfigsStayBitIdentical) {
       GetParam() * 977 + 3);
 
   DriveOptions serial;
+  serial.engine = Engine::kSerial;
   serial.mode =
       rng.below(2) == 0 ? FeedMode::kStreaming : FeedMode::kClosedLoop;
   serial.tag_pool = serial.mode == FeedMode::kStreaming
@@ -299,10 +421,20 @@ TEST_P(EquivalenceFuzz, RandomConfigsStayBitIdentical) {
   DriveOptions parallel = serial;
   parallel.engine = Engine::kParallel;
   parallel.engine_threads = 1u + static_cast<std::uint32_t>(rng.below(8));
+  DriveOptions event = serial;
+  event.engine = Engine::kEvent;
+  DriveOptions event_parallel = parallel;
+  event_parallel.engine = Engine::kEventParallel;
 
   for (const char* path : {"mac", "raw", "mshr"}) {
-    EXPECT_EQ(run_fingerprint(path, trace, config, threads, serial),
-              run_fingerprint(path, trace, config, threads, parallel))
+    const std::string expected =
+        run_fingerprint(path, trace, config, threads, serial);
+    EXPECT_EQ(expected, run_fingerprint(path, trace, config, threads, parallel))
+        << path << " seed " << GetParam();
+    EXPECT_EQ(expected, run_fingerprint(path, trace, config, threads, event))
+        << path << " seed " << GetParam();
+    EXPECT_EQ(expected,
+              run_fingerprint(path, trace, config, threads, event_parallel))
         << path << " seed " << GetParam();
   }
 }

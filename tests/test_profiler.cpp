@@ -62,6 +62,69 @@ TEST(ActivityCensus, CountsActiveAndIdleWithGapCycles) {
   EXPECT_DOUBLE_EQ(census.dead_time_fraction(), 18.0 / 20.0);
 }
 
+TEST(ActivityCensus, SkipToCreditsRangeProbesExactly) {
+  ActivityCensus census;
+  // Threshold-form probe, like a bank busy-until: active while now < 7.
+  census.add_component(
+      "bank", [](Cycle now) { return now < 7; },
+      [](Cycle first, Cycle last) -> std::uint64_t {
+        if (first >= 7) return 0;
+        const Cycle end = last < 6 ? last : 6;
+        return end - first + 1;
+      });
+  // Plain 2-arg component: skipped spans book as idle.
+  census.add_component("idle_unit", [](Cycle) { return false; });
+
+  census.observe(0);   // both probed at 0: bank active, idle_unit idle
+  census.skip_to(10);  // span 1..9: bank active 1..6 (6), idle 7..9 (3)
+  census.observe(10);  // landing cycle probed normally (bank now idle)
+
+  EXPECT_EQ(census.observed_cycles(), 11u);
+  const auto& rows = census.rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].active_cycles, 7u);  // cycle 0 + span cycles 1..6
+  EXPECT_EQ(rows[0].idle_cycles, 4u);    // 7..9 + landing cycle 10
+  EXPECT_EQ(rows[1].active_cycles, 0u);
+  EXPECT_EQ(rows[1].idle_cycles, 11u);
+}
+
+TEST(ActivityCensus, SkipToEdgeCases) {
+  ActivityCensus census;
+  std::uint64_t range_calls = 0;
+  census.add_component(
+      "unit", [](Cycle) { return false; },
+      [&range_calls](Cycle first, Cycle last) -> std::uint64_t {
+        ++range_calls;
+        // Over-reporting probes are clamped to the span length.
+        return (last - first + 1) * 100;
+      });
+  census.add_feeder("feeder");
+
+  census.observe(0);
+  census.skip_to(1);  // next == first unobserved cycle: a no-op
+  EXPECT_EQ(census.observed_cycles(), 1u);
+  EXPECT_EQ(range_calls, 0u);
+
+  census.skip_to(5);  // span 1..4
+  EXPECT_EQ(census.observed_cycles(), 5u);
+  EXPECT_EQ(range_calls, 1u);
+  const auto& rows = census.rows();
+  // Clamp: the probe claimed 400 active cycles for a 4-cycle span.
+  EXPECT_EQ(rows[0].active_cycles, 4u);
+  EXPECT_EQ(rows[0].idle_cycles, 1u);
+  // The feeder row never runs a range probe: skipped spans are idle
+  // (nothing was fed during a span nobody visited).
+  EXPECT_EQ(rows[1].active_cycles, 0u);
+  EXPECT_EQ(rows[1].idle_cycles, 5u);
+
+  // skip_to on a fresh census starts the clock at cycle 0.
+  ActivityCensus fresh;
+  fresh.add_component("unit", [](Cycle) { return true; });
+  fresh.skip_to(3);  // books 0..2, idle (no range probe)
+  EXPECT_EQ(fresh.observed_cycles(), 3u);
+  EXPECT_EQ(fresh.rows()[0].idle_cycles, 3u);
+}
+
 TEST(ActivityCensus, FeederRowFollowsMarkFeeder) {
   ActivityCensus census;
   census.add_feeder("node0.feeder");
@@ -221,18 +284,27 @@ TEST(ProfilerEquivalence, CensusExportsAreByteIdenticalAcrossEngines) {
   config.cores = 2;
   const MemoryTrace trace = small_trace(4, 100);
 
-  const auto census_json = [&](bool parallel) {
+  // 0 = run, 1 = run_parallel, 2 = run_event, 3 = run_event_parallel.
+  const auto census_json = [&](int engine) {
     System system(config);
     system.attach_trace(trace);
     ActivityCensus census;
     system.attach_census(&census);
-    const SystemRunSummary summary =
-        parallel ? system.run_parallel(4) : system.run();
+    SystemRunSummary summary;
+    switch (engine) {
+      case 0: summary = system.run(); break;
+      case 1: summary = system.run_parallel(4); break;
+      case 2: summary = system.run_event(); break;
+      default: summary = system.run_event_parallel(4); break;
+    }
     EXPECT_TRUE(summary.completed);
     census.seal();
     return census.to_json();
   };
-  EXPECT_EQ(census_json(false), census_json(true));
+  const std::string reference = census_json(0);
+  EXPECT_EQ(reference, census_json(1));
+  EXPECT_EQ(reference, census_json(2));
+  EXPECT_EQ(reference, census_json(3));
 }
 
 TEST(ProfilerPerturbation, ProfiledRunsMatchUnprofiledRuns) {
