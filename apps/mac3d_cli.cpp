@@ -54,6 +54,12 @@ struct CliOptions {
   std::uint64_t seed = 42;
   bool csv = false;
   bool closed_loop = false;
+  /// streaming | closed-loop | lane-group ("" = streaming, or closed-loop
+  /// when --closed-loop was given).
+  std::string feed;
+  /// raw | mac | mshr | warp ("" = config default). Sets config.policy
+  /// (system command) and, unless --paths was given, the run path list.
+  std::string policy;
   bool checks = false;
   bool profile = false;  ///< idle-cycle census + latency/host profiling
   /// serial | parallel | event | event-parallel ("" = per-command default:
@@ -80,7 +86,11 @@ void usage() {
                "  --workload NAME   workload to trace (default sg)\n"
                "  --trace FILE      replay a saved trace instead\n"
                "  --out FILE        output trace file (trace command)\n"
-               "  --paths a,b,c     raw | mac | mshr (default raw,mac)\n"
+               "  --paths a,b,c     raw | mac | mshr | warp (default "
+               "raw,mac)\n"
+               "  --policy P        coalescer policy raw | mac | mshr | warp\n"
+               "                    (sets config.policy; run: implies "
+               "--paths P)\n"
                "  --threads N       thread streams (default: cores)\n"
                "  --nodes N         NUMA nodes (system command; default: "
                "config)\n"
@@ -89,6 +99,9 @@ void usage() {
                "  --set key=value   config override (repeatable)\n"
                "  --closed-loop     execution-driven feed (default: "
                "streaming)\n"
+               "  --feed MODE       streaming | closed-loop | lane-group "
+               "(SIMT lockstep\n"
+               "                    groups of config.warp_lanes threads)\n"
                "  --engine E        serial | parallel | event | "
                "event-parallel (docs/PARALLELISM.md;\n"
                "                    default: event for run/suite, serial "
@@ -155,6 +168,24 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       options.csv = true;
     } else if (arg == "--closed-loop") {
       options.closed_loop = true;
+    } else if (arg == "--feed") {
+      options.feed = value();
+      if (options.feed != "streaming" && options.feed != "closed-loop" &&
+          options.feed != "lane-group") {
+        std::fprintf(stderr,
+                     "unknown feed '%s' "
+                     "(streaming|closed-loop|lane-group)\n",
+                     options.feed.c_str());
+        return std::nullopt;
+      }
+    } else if (arg == "--policy") {
+      options.policy = value();
+      CoalescerPolicy parsed;
+      if (!parse_policy(options.policy, parsed)) {
+        std::fprintf(stderr, "unknown policy '%s' (raw|mac|mshr|warp)\n",
+                     options.policy.c_str());
+        return std::nullopt;
+      }
     } else if (arg == "--checks") {
       options.checks = true;
     } else if (arg == "--profile") {
@@ -202,8 +233,29 @@ SimConfig make_config(const CliOptions& options) {
   for (const std::string& override_text : options.overrides) {
     config.parse_override_string(override_text);
   }
+  if (!options.policy.empty()) {
+    config.parse_override_string("policy=" + options.policy);
+  }
   config.validate();
   return config;
+}
+
+/// --feed / --closed-loop -> driver feed mode.
+FeedMode drive_feed(const CliOptions& options) {
+  if (options.feed == "closed-loop" || options.closed_loop) {
+    return FeedMode::kClosedLoop;
+  }
+  if (options.feed == "lane-group") return FeedMode::kLaneGroup;
+  return FeedMode::kStreaming;
+}
+
+const char* feed_name(FeedMode mode) {
+  switch (mode) {
+    case FeedMode::kClosedLoop: return "closed_loop";
+    case FeedMode::kLaneGroup: return "lane_group";
+    case FeedMode::kStreaming: break;
+  }
+  return "streaming";
 }
 
 MemoryTrace make_trace(const CliOptions& options, const SimConfig& config) {
@@ -234,16 +286,20 @@ Engine drive_engine(const std::string& name) {
   return Engine::kEvent;  // "event" and the run/suite default
 }
 
-int cmd_run(const CliOptions& options) {
+int cmd_run(const CliOptions& cli) {
   const auto wall_start = std::chrono::steady_clock::now();
+  // --policy narrows the default path list (an explicit --paths wins).
+  CliOptions options = cli;
+  if (!options.policy.empty() && cli.paths == CliOptions{}.paths) {
+    options.paths = {options.policy};
+  }
   const SimConfig config = make_config(options);
   const std::uint32_t threads =
       options.threads == 0 ? config.cores : options.threads;
   const MemoryTrace trace = make_trace(options, config);
 
   DriveOptions drive;
-  drive.mode = options.closed_loop ? FeedMode::kClosedLoop
-                                   : FeedMode::kStreaming;
+  drive.mode = drive_feed(options);
   drive.engine = drive_engine(options.engine);
   drive.engine_threads = options.engine_threads;
   drive.tag_pool = options.tag_pool;
@@ -301,22 +357,18 @@ int cmd_run(const CliOptions& options) {
     drive.profiler = &profiler;
   }
 
-  for (const std::string& path : options.paths) {
-    if (path != "raw" && path != "mac" && path != "mshr") {
-      std::fprintf(stderr, "unknown path '%s'\n", path.c_str());
+  std::vector<CoalescerPolicy> policies(options.paths.size());
+  for (std::size_t i = 0; i < options.paths.size(); ++i) {
+    if (!parse_policy(options.paths[i], policies[i])) {
+      std::fprintf(stderr, "unknown path '%s' (raw|mac|mshr|warp)\n",
+                   options.paths[i].c_str());
       return 2;
     }
   }
   std::vector<DriverResult> results(options.paths.size());
   const auto run_path = [&](std::size_t index) {
-    const std::string& path = options.paths[index];
-    if (path == "raw") {
-      results[index] = run_raw(trace, config, threads, drive);
-    } else if (path == "mac") {
-      results[index] = run_mac(trace, config, threads, drive);
-    } else {
-      results[index] = run_mshr(trace, config, threads, 32, 64, drive);
-    }
+    results[index] = run_policy(policies[index], trace, config, threads,
+                                drive);
   };
   // Paths are independent runs over the same (immutable) trace, so --jobs
   // shards them across a worker pool — unless shared telemetry/check
@@ -355,8 +407,7 @@ int cmd_run(const CliOptions& options) {
     report.set_string("workload", options.trace_path.empty()
                                       ? options.workload
                                       : options.trace_path);
-    report.set_string("feed_mode",
-                      options.closed_loop ? "closed_loop" : "streaming");
+    report.set_string("feed_mode", feed_name(drive.mode));
     report.set_number("threads", static_cast<double>(threads));
     report.set_number("scale", options.scale);
     report.set_number("seed", static_cast<double>(options.seed));
@@ -428,7 +479,7 @@ int cmd_run(const CliOptions& options) {
                                            : options.trace_path));
   std::printf("%s records, %u threads, scale %.2f, %s feed\n\n",
               Table::count(trace.size()).c_str(), threads, options.scale,
-              options.closed_loop ? "closed-loop" : "streaming");
+              feed_name(drive.mode));
   Table table({"path", "packets", "coal. eff", "bw eff", "avg packet",
                "bank conflicts", "avg latency", "makespan"});
   for (const DriverResult& result : results) {

@@ -15,7 +15,7 @@ Node::Node(const SimConfig& config, NodeId id,
       thread_owner_(thread_owner),
       thread_core_(thread_core),
       device_(std::make_unique<HmcDevice>(config, id)),
-      mac_(std::make_unique<MacCoalescer>(config, *device_)),
+      path_(make_memory_path(config, *device_)),
       router_(std::make_unique<RequestRouter>(config, device_->address_map(),
                                               id)) {
   cores_.reserve(config.cores);
@@ -30,14 +30,14 @@ void Node::add_thread(ThreadId tid, const std::vector<MemRecord>* records) {
 
 void Node::attach_checks(CheckContext* context) {
   device_->attach_checks(context);
-  mac_->attach_checks(context, "node" + std::to_string(id_) + ".mac");
+  path_->attach_checks(context, "node" + std::to_string(id_) + ".");
   router_->attach_checks(context);
 }
 
 void Node::attach_sink(EventSink* sink) {
   sink_ = sink;
   router_->attach_sink(sink);
-  mac_->attach_sink(sink);
+  path_->attach_sink(sink);
   device_->attach_sink(sink);
 }
 
@@ -52,16 +52,7 @@ void Node::attach_metrics(MetricsRegistry* registry) {
 void Node::attach_census(ActivityCensus& census) {
   const std::string prefix = "node" + std::to_string(id_) + ".";
   census.add_component(prefix + "router", *router_);
-  census.add_component(prefix + "mac", *mac_);
-  census.add_component(prefix + "arq", [mac = mac_.get()](Cycle now) {
-    return mac->arq_did_work(now);
-  });
-  census.add_component(prefix + "builder", [mac = mac_.get()](Cycle now) {
-    return mac->builder_did_work(now);
-  });
-  census.add_component(prefix + "flit_table", [mac = mac_.get()](Cycle now) {
-    return mac->flit_table_did_work(now);
-  });
+  path_->register_census(census, prefix);
   device_->register_census(census, prefix);
 }
 
@@ -105,17 +96,17 @@ void Node::tick(Cycle now, Interconnect* fabric) {
     fabric->send_request(request, home, now, id_);
   }
 
-  // 4. MAC intake: one raw request per cycle.
-  if (router_->has_mac_request() && mac_->can_accept()) {
-    mac_->accept(router_->pop_mac_request(), now);
+  // 4. Memory-path intake: one raw request per cycle.
+  if (router_->has_mac_request() && path_->can_accept()) {
+    path_->accept(router_->pop_mac_request(), now);
     router_->note_work(now);  // census: pop_mac_request has no cycle param
   }
 
-  // 5. Advance the MAC / device.
-  mac_->tick(now);
+  // 5. Advance the memory path / device.
+  path_->tick(now);
 
   // 6. Response routing (paper Sec. 3.3).
-  for (const CompletedAccess& completion : mac_->drain(now)) {
+  for (const CompletedAccess& completion : path_->drain(now)) {
     dispatch_completion(completion, now, fabric);
   }
 }
@@ -148,12 +139,13 @@ bool Node::finished() const noexcept {
 }
 
 bool Node::drained() const noexcept {
-  return finished() && mac_->idle() && !router_->has_mac_request() &&
+  return finished() && path_->idle() && !router_->has_mac_request() &&
          router_->global_queue().empty() && pending_remote_.empty();
 }
 
 bool Node::did_work_this_cycle(Cycle now) const noexcept {
-  return router_->did_work_this_cycle(now) || mac_->did_work_this_cycle(now);
+  return router_->did_work_this_cycle(now) ||
+         path_->did_work_this_cycle(now);
 }
 
 Cycle Node::next_activity_cycle(Cycle now) const noexcept {
@@ -167,18 +159,18 @@ Cycle Node::next_activity_cycle(Cycle now) const noexcept {
   if (!pending_remote_.empty()) merge(now + 1);
   // Queued router work (MAC intake, outbound fabric forwarding).
   merge(router_->next_activity_cycle(now));
-  // The MAC pipeline's own oracle covers the device: its next_event folds
+  // The memory path's own oracle covers the device: its next_event folds
   // in the earliest in-flight device completion.
-  merge(mac_->next_event(now));
+  merge(path_->next_event(now));
   // Cores that can issue (completion-blocked threads wake at the delivery
-  // cycle, which the MAC/device oracle above already marks).
+  // cycle, which the path/device oracle above already marks).
   for (const CoreModel& core : cores_) merge(core.next_issue_cycle(now));
   return next;
 }
 
 void Node::collect(StatSet& out, const std::string& prefix) const {
   device_->stats().collect(out, prefix + ".hmc");
-  mac_->stats().collect(out, prefix + ".mac");
+  path_->collect(out, prefix);
   out.set(prefix + ".completions",
           static_cast<double>(completions_delivered_));
   out.set(prefix + ".avg_request_latency_cycles", request_latency_.mean());

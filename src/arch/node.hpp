@@ -1,8 +1,10 @@
 // One node of the NUMA system (paper Fig. 4): in-order cores with SPMs, a
-// request router, a unified MAC, and the directly-attached 3D-stacked
-// memory device. Remote traffic flows through the system interconnect.
+// request router, a coalescer policy front-end (SimConfig::policy — the
+// unified MAC by default), and the directly-attached 3D-stacked memory
+// device. Remote traffic flows through the system interconnect.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -15,6 +17,7 @@
 #include "common/types.hpp"
 #include "mac/coalescer.hpp"
 #include "mem/hmc_device.hpp"
+#include "sim/memory_path.hpp"
 
 namespace mac3d {
 
@@ -48,8 +51,18 @@ class Node {
   [[nodiscard]] NodeId id() const noexcept { return id_; }
   [[nodiscard]] HmcDevice& device() noexcept { return *device_; }
   [[nodiscard]] const HmcDevice& device() const noexcept { return *device_; }
-  [[nodiscard]] MacCoalescer& mac() noexcept { return *mac_; }
-  [[nodiscard]] const MacCoalescer& mac() const noexcept { return *mac_; }
+  /// The policy front-end between router and device (config.policy).
+  [[nodiscard]] MemoryPath& memory_path() noexcept { return *path_; }
+  [[nodiscard]] const MemoryPath& memory_path() const noexcept {
+    return *path_;
+  }
+  /// The MAC coalescer — only valid under the default kMac policy
+  /// (asserts otherwise; prefer memory_path() in policy-generic code).
+  [[nodiscard]] MacCoalescer& mac() noexcept {
+    MacCoalescer* mac = path_->as_mac();
+    assert(mac != nullptr && "node.mac() requires policy=mac");
+    return *mac;
+  }
   [[nodiscard]] RequestRouter& router() noexcept { return *router_; }
   [[nodiscard]] CoreModel& core(std::size_t i) { return cores_.at(i); }
   [[nodiscard]] const CoreModel& core(std::size_t i) const {
@@ -99,7 +112,7 @@ class Node {
   const std::vector<NodeId>* thread_owner_;
   const std::vector<CoreId>* thread_core_;
   std::unique_ptr<HmcDevice> device_;
-  std::unique_ptr<MacCoalescer> mac_;
+  std::unique_ptr<MemoryPath> path_;
   std::unique_ptr<RequestRouter> router_;
   std::vector<CoreModel> cores_;
   std::vector<RawRequest> pending_remote_;  ///< retry buffer (queue full)

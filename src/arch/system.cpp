@@ -99,7 +99,20 @@ void System::attach_trace(const MemoryTrace& trace) {
   }
 }
 
+void System::validate_engine_config(const char* engine_name) const {
+  if (nodes_.size() > 1 && config_.remote_hop_cycles == 0) {
+    // A zero-hop fabric lets a serial engine deliver a message to a
+    // later-ticking node within the sending cycle — unreproducible under
+    // any barrier schedule, so every engine refuses it uniformly rather
+    // than letting the serial engines silently diverge from the staged
+    // ones (the equivalence grid relies on identical accept/reject).
+    throw std::invalid_argument(std::string("System::") + engine_name +
+                                " requires remote_hop_cycles >= 1 (got 0)");
+  }
+}
+
 SystemRunSummary System::run(Cycle max_cycles) {
+  validate_engine_config("run");
   Interconnect* fabric = nodes_.size() > 1 ? fabric_.get() : nullptr;
   register_probes();
 
@@ -174,6 +187,7 @@ void System::credit_skip(Cycle now, Cycle next) {
 }
 
 SystemRunSummary System::run_event(Cycle max_cycles) {
+  validate_engine_config("run_event");
   Interconnect* fabric = nodes_.size() > 1 ? fabric_.get() : nullptr;
   register_probes();
 
@@ -227,13 +241,7 @@ SystemRunSummary System::run_event(Cycle max_cycles) {
 
 SystemRunSummary System::run_parallel(std::uint32_t threads,
                                       Cycle max_cycles) {
-  if (nodes_.size() > 1 && config_.remote_hop_cycles == 0) {
-    // A zero-hop fabric lets a serial engine deliver a message to a
-    // later-ticking node within the sending cycle — unreproducible under
-    // any barrier schedule, so refuse rather than silently diverge.
-    throw std::invalid_argument(
-        "System::run_parallel requires remote_hop_cycles >= 1 (got 0)");
-  }
+  validate_engine_config("run_parallel");
   Interconnect* fabric = nodes_.size() > 1 ? fabric_.get() : nullptr;
   ParallelStepper stepper(threads);
   stepper.attach_profiler(profiler_);
@@ -317,12 +325,7 @@ SystemRunSummary System::run_parallel(std::uint32_t threads,
 
 SystemRunSummary System::run_event_parallel(std::uint32_t threads,
                                             Cycle max_cycles) {
-  if (nodes_.size() > 1 && config_.remote_hop_cycles == 0) {
-    // Same restriction as run_parallel: a zero-hop fabric can deliver
-    // within the sending cycle, which no barrier schedule reproduces.
-    throw std::invalid_argument(
-        "System::run_event_parallel requires remote_hop_cycles >= 1 (got 0)");
-  }
+  validate_engine_config("run_event_parallel");
   Interconnect* fabric = nodes_.size() > 1 ? fabric_.get() : nullptr;
   ParallelStepper stepper(threads);
   stepper.attach_profiler(profiler_);

@@ -43,7 +43,10 @@ class System {
   /// The trace must outlive the system.
   void attach_trace(const MemoryTrace& trace);
 
-  /// Run until every thread drains (or `max_cycles`).
+  /// Run until every thread drains (or `max_cycles`). Multi-node configs
+  /// require remote_hop_cycles >= 1 — enforced uniformly across all four
+  /// engines (a zero-hop fabric delivers within the sending cycle, which
+  /// the staged engines cannot reproduce, so no engine may accept it).
   SystemRunSummary run(Cycle max_cycles = 2'000'000'000ULL);
 
   /// Node-sharded parallel run (docs/PARALLELISM.md): all nodes advance
@@ -126,6 +129,11 @@ class System {
   }
 
  private:
+  /// Engine-independent config validation, run at the top of all four
+  /// run_* entry points so no engine accepts a config another rejects
+  /// (the equivalence grid depends on uniform accept/reject behaviour).
+  /// `engine_name` labels the thrown std::invalid_argument.
+  void validate_engine_config(const char* engine_name) const;
   /// Shared end-of-run accounting (node order, both engines).
   SystemRunSummary summarize(Cycle cycles, bool completed) const;
   /// Event-engine jump target after ticking `now`: the minimum of every

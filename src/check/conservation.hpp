@@ -48,8 +48,8 @@ class ConservationChecker {
     Cycle accepted = 0;
   };
 
-  static std::uint32_t key(ThreadId tid, Tag tag) noexcept {
-    return (static_cast<std::uint32_t>(tid) << 16) | tag;
+  static std::uint64_t key(ThreadId tid, Tag tag) noexcept {
+    return request_key(tid, tag);
   }
 
   [[nodiscard]] std::string describe(ThreadId tid, Tag tag,
@@ -61,7 +61,7 @@ class ConservationChecker {
   // std::map, not unordered: the fence-ordering walk and finalize() both
   // iterate this, and the first match chosen (= the failure detail the
   // user sees) must not depend on hash order.
-  std::map<std::uint32_t, Pending> in_flight_;
+  std::map<std::uint64_t, Pending> in_flight_;
 };
 
 }  // namespace mac3d

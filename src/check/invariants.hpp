@@ -139,6 +139,20 @@ inline constexpr Invariant kMshrOccupancy{
     "the MSHR file never holds more entries than its configured capacity",
     "Sec. 2.3", Severity::kFatal};
 
+// ---- Warp-iterative policy (SIMT-style coalescing) ----------------------
+
+inline constexpr Invariant kWarpWindowBound{
+    "warp.window_bound",
+    "a warp window holds between one and warp_lanes lanes, and every lane "
+    "is served exactly once before the window retires",
+    "Sec. 2.1 (GPU coalescing)", Severity::kFatal};
+
+inline constexpr Invariant kWarpPacketSpan{
+    "warp.packet_span",
+    "a warp packet's byte range stays inside one warp_block_bytes merge "
+    "block (and therefore inside one DRAM row)",
+    "Sec. 2.1 (GPU coalescing)", Severity::kError};
+
 // ---- Routers (node fabric) ----------------------------------------------
 
 inline constexpr Invariant kRouterClassification{

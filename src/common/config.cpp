@@ -39,6 +39,22 @@ bool parse_bool(const std::string& key, const std::string& value) {
   throw ConfigError("invalid bool for " + key + ": '" + value + "'");
 }
 
+CoalescerPolicy parse_policy_value(const std::string& key,
+                                   const std::string& value) {
+  // to_kv() emits the policy as a quoted JSON string token; accept that
+  // form back so the documented kv round-trip holds.
+  std::string name = value;
+  if (name.size() >= 2 && name.front() == '"' && name.back() == '"') {
+    name = name.substr(1, name.size() - 2);
+  }
+  CoalescerPolicy policy = CoalescerPolicy::kMac;
+  if (!parse_policy(name, policy)) {
+    throw ConfigError("invalid policy for " + key + ": '" + value +
+                      "' (want raw|mac|mshr|warp)");
+  }
+  return policy;
+}
+
 }  // namespace
 
 std::uint32_t SimConfig::max_targets_per_entry() const noexcept {
@@ -91,6 +107,21 @@ void SimConfig::validate() const {
   require(t_link_flit >= 1, "t_link_flit must be >= 1");
   require(t_refi == 0 || t_rfc < t_refi,
           "t_rfc must be smaller than t_refi (or t_refi 0 to disable)");
+  require(mshr_entries >= 1, "mshr_entries must be >= 1");
+  require(is_pow2(mshr_block_bytes) && mshr_block_bytes >= kFlitBytes &&
+              mshr_block_bytes <= kMaxPacketDataBytes,
+          "mshr_block_bytes must be a power of two in [16, 256]");
+  require(warp_lanes >= 1 && warp_lanes <= 64,
+          "warp_lanes must be in [1, 64]");
+  require(is_pow2(warp_block_bytes) && warp_block_bytes >= kFlitBytes &&
+              warp_block_bytes <= kMaxPacketDataBytes,
+          "warp_block_bytes must be a power of two in [16, 256]");
+  // Warp merges must stay inside one DRAM row (one packet == one row
+  // visit, same contract the builder obeys), so blocks must nest in rows.
+  require(warp_block_bytes <= row_bytes &&
+              row_bytes % warp_block_bytes == 0,
+          "warp_block_bytes must divide row_bytes");
+  require(warp_window_cycles >= 1, "warp_window_cycles must be >= 1");
 }
 
 void SimConfig::parse_overrides(
@@ -199,6 +230,29 @@ void SimConfig::parse_overrides(
           {"mac_enabled", [&](const std::string& v) {
              mac_enabled = parse_bool("mac_enabled", v);
            }},
+          {"policy", [&](const std::string& v) {
+             policy = parse_policy_value("policy", v);
+           }},
+          {"mshr_entries", [&](const std::string& v) {
+             mshr_entries =
+                 static_cast<std::uint32_t>(parse_u64("mshr_entries", v));
+           }},
+          {"mshr_block_bytes", [&](const std::string& v) {
+             mshr_block_bytes =
+                 static_cast<std::uint32_t>(parse_u64("mshr_block_bytes", v));
+           }},
+          {"warp_lanes", [&](const std::string& v) {
+             warp_lanes =
+                 static_cast<std::uint32_t>(parse_u64("warp_lanes", v));
+           }},
+          {"warp_block_bytes", [&](const std::string& v) {
+             warp_block_bytes =
+                 static_cast<std::uint32_t>(parse_u64("warp_block_bytes", v));
+           }},
+          {"warp_window_cycles", [&](const std::string& v) {
+             warp_window_cycles = static_cast<std::uint32_t>(
+                 parse_u64("warp_window_cycles", v));
+           }},
           {"remote_hop_cycles", [&](const std::string& v) {
              remote_hop_cycles =
                  static_cast<std::uint32_t>(parse_u64("remote_hop_cycles", v));
@@ -280,6 +334,13 @@ std::map<std::string, std::string> SimConfig::to_kv() const {
       {"builder_min_bytes", u(builder_min_bytes)},
       {"fill_fast_enabled", b(fill_fast_enabled)},
       {"mac_enabled", b(mac_enabled)},
+      // Quoted: to_kv() values are JSON value tokens (see RunReport).
+      {"policy", '"' + std::string(to_string(policy)) + '"'},
+      {"mshr_entries", u(mshr_entries)},
+      {"mshr_block_bytes", u(mshr_block_bytes)},
+      {"warp_lanes", u(warp_lanes)},
+      {"warp_block_bytes", u(warp_block_bytes)},
+      {"warp_window_cycles", u(warp_window_cycles)},
       {"remote_hop_cycles", u(remote_hop_cycles)},
       {"queue_depth", u(queue_depth)},
   };

@@ -72,6 +72,19 @@ struct SimConfig {
   bool fill_fast_enabled = false;
   bool mac_enabled = true;        ///< false => raw 16 B requests pass through
 
+  // ---- Coalescer policy (DESIGN.md §policy) ------------------------
+  /// Which front-end a Node places between router and HMC device. The
+  /// streaming drivers take the policy as an argument instead; the CLI's
+  /// --policy flag sets both.
+  CoalescerPolicy policy = CoalescerPolicy::kMac;
+  std::uint32_t mshr_entries = 32;      ///< MSHR file size (mshr policy)
+  std::uint32_t mshr_block_bytes = 64;  ///< MSHR merge block (mshr policy)
+  std::uint32_t warp_lanes = 8;         ///< lanes per warp window (warp policy)
+  std::uint32_t warp_block_bytes = 64;  ///< same-block merge granule (warp)
+  /// Max cycles a partially filled warp window waits for more lanes
+  /// before it is released anyway (warp policy).
+  std::uint32_t warp_window_cycles = 8;
+
   // ---- Interconnect (Sec. 3, NUMA) --------------------------------------
   std::uint32_t remote_hop_cycles = 120;   ///< node-to-node one-way latency
   std::uint32_t queue_depth = 64;          ///< local/remote/global queues

@@ -1,4 +1,4 @@
-// Open-addressed flat map keyed by a packed 32-bit (tid, tag) used to
+// Open-addressed flat map keyed by a packed 64-bit (tid, tag) used to
 // remember per-request accept cycles on the MAC / raw-path hot loops.
 // Replaces std::unordered_map there: one contiguous allocation, linear
 // probing, backward-shift deletion (no tombstones), and no iteration API
@@ -13,32 +13,45 @@
 
 namespace mac3d {
 
-/// uint32 -> Cycle map supporting exactly the hot-path operations the
+/// uint64 -> Cycle map supporting exactly the hot-path operations the
 /// accept-cycle tables need: put (insert-or-assign) and take (find +
-/// erase, returning a fallback when absent). Deterministic by
-/// construction: probe order depends only on the key sequence.
+/// erase, returning a fallback when absent). Keys are 64-bit so the
+/// request_key() pack (tid and tag each in their own 32-bit lane) can
+/// never alias. Deterministic by construction: probe order depends only
+/// on the key sequence.
 class FlatCycleMap {
  public:
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Current slot-array size (power of two). Exposed so tests can assert
+  /// that in-place updates never trigger a rehash.
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
-  void put(std::uint32_t key, Cycle value) {
-    // Keep load factor under 3/4 (counting the incoming insert).
+  void put(std::uint64_t key, Cycle value) {
+    // Probe for the key first: updating an existing entry must never
+    // rehash (the load factor only counts distinct keys, and a grow()
+    // here would invalidate the probe we are standing on).
+    if (!slots_.empty()) {
+      std::size_t i = home(key);
+      while (slots_[i].used) {
+        if (slots_[i].key == key) {
+          slots_[i].value = value;
+          return;
+        }
+        i = next(i);
+      }
+    }
+    // Genuine insert: keep load factor under 3/4 counting this key,
+    // then re-probe (grow() moved every slot).
     if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) grow();
     std::size_t i = home(key);
-    while (slots_[i].used) {
-      if (slots_[i].key == key) {
-        slots_[i].value = value;
-        return;
-      }
-      i = next(i);
-    }
+    while (slots_[i].used) i = next(i);
     slots_[i] = Slot{key, value, true};
     ++size_;
   }
 
   /// Remove `key` and return its value, or `fallback` when absent.
-  [[nodiscard]] Cycle take(std::uint32_t key, Cycle fallback) noexcept {
+  [[nodiscard]] Cycle take(std::uint64_t key, Cycle fallback) noexcept {
     if (slots_.empty()) return fallback;
     std::size_t i = home(key);
     while (slots_[i].used) {
@@ -59,14 +72,16 @@ class FlatCycleMap {
 
  private:
   struct Slot {
-    std::uint32_t key = 0;
+    std::uint64_t key = 0;
     Cycle value = 0;
     bool used = false;
   };
 
-  [[nodiscard]] std::size_t home(std::uint32_t key) const noexcept {
-    // Fibonacci multiplicative hash; capacity is a power of two.
-    return static_cast<std::size_t>(key * 0x9E3779B9u) & (slots_.size() - 1);
+  [[nodiscard]] std::size_t home(std::uint64_t key) const noexcept {
+    // 64-bit Fibonacci multiplicative hash; the shift keeps the
+    // well-mixed high bits before masking to the power-of-two capacity.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
+           (slots_.size() - 1);
   }
 
   [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
@@ -75,11 +90,19 @@ class FlatCycleMap {
 
   void erase_slot(std::size_t i) noexcept {
     // Backward-shift deletion keeps probe chains gap-free, so lookups
-    // never need tombstone checks.
+    // never need tombstone checks. An element at j may fill the hole at
+    // i only if its home does not lie cyclically in (i, j] — moving it
+    // in front of its own home would break its probe chain. Elements at
+    // their home stay put, but the scan must continue past them: the
+    // cluster can still hold later elements homed at or before i.
     std::size_t j = next(i);
-    while (slots_[j].used && home(slots_[j].key) != j) {
-      slots_[i] = slots_[j];
-      i = j;
+    while (slots_[j].used) {
+      const std::size_t h = home(slots_[j].key);
+      const bool home_in_gap = (j >= i) ? (h > i && h <= j) : (h > i || h <= j);
+      if (!home_in_gap) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
       j = next(j);
     }
     slots_[i].used = false;

@@ -87,4 +87,60 @@ struct Target {
 /// Paper Sec. 4.1.1: each target occupies 4.5 B of ARQ entry storage.
 inline constexpr double kTargetBytes = 4.5;
 
+/// Collision-free packed (tid, tag) key for the per-request cycle maps.
+/// Each component gets a full 32-bit lane, so the pack cannot alias even
+/// if ThreadId/Tag are ever widened up to 32 bits; the static_asserts
+/// turn any widening beyond that into a compile error instead of a
+/// silent key collision (the 16-bit-shift pack this replaces aliased as
+/// soon as a tag crossed 16 bits).
+static_assert(sizeof(ThreadId) <= sizeof(std::uint32_t),
+              "request_key packs ThreadId into a 32-bit lane");
+static_assert(sizeof(Tag) <= sizeof(std::uint32_t),
+              "request_key packs Tag into a 32-bit lane");
+
+[[nodiscard]] constexpr std::uint64_t request_key(ThreadId tid,
+                                                  Tag tag) noexcept {
+  return (static_cast<std::uint64_t>(tid) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+}
+
+/// Which front-end turns raw requests into HMC packets (DESIGN.md
+/// §policy). One enum consumed by SimConfig, Driver, Node and the CLI so
+/// every layer names policies identically.
+enum class CoalescerPolicy : std::uint8_t {
+  kRaw,   ///< no coalescing: one 16 B transaction per raw request
+  kMac,   ///< the paper's ARQ + request builder + FLIT table
+  kMshr,  ///< cache-style MSHR file merging to fixed-size blocks
+  kWarp,  ///< SIMT-style iterative leader/same-block lane merging
+};
+
+[[nodiscard]] constexpr std::string_view to_string(
+    CoalescerPolicy policy) noexcept {
+  switch (policy) {
+    case CoalescerPolicy::kRaw: return "raw";
+    case CoalescerPolicy::kMac: return "mac";
+    case CoalescerPolicy::kMshr: return "mshr";
+    case CoalescerPolicy::kWarp: return "warp";
+  }
+  return "?";
+}
+
+/// Parse a policy name ("raw"/"mac"/"mshr"/"warp"). Returns false and
+/// leaves `out` untouched on an unknown name.
+[[nodiscard]] constexpr bool parse_policy(std::string_view name,
+                                          CoalescerPolicy& out) noexcept {
+  if (name == "raw") {
+    out = CoalescerPolicy::kRaw;
+  } else if (name == "mac") {
+    out = CoalescerPolicy::kMac;
+  } else if (name == "mshr") {
+    out = CoalescerPolicy::kMshr;
+  } else if (name == "warp") {
+    out = CoalescerPolicy::kWarp;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace mac3d

@@ -167,8 +167,8 @@ class MacCoalescer {
     bool bypass = false;
   };
 
-  static std::uint32_t key(const Target& target) noexcept {
-    return (static_cast<std::uint32_t>(target.tid) << 16) | target.tag;
+  static std::uint64_t key(const Target& target) noexcept {
+    return request_key(target.tid, target.tag);
   }
 
   void pop_stage(Cycle now);

@@ -12,6 +12,8 @@ namespace {
 constexpr std::uint32_t kMaxLanesPerThread = 256;
 
 [[nodiscard]] std::uint32_t record_key(ThreadId tid, Tag tag) noexcept {
+  static_assert(sizeof(ThreadId) * 8 <= 16 && sizeof(Tag) * 8 <= 16,
+                "record_key packs (tid, tag) into 16-bit lanes");
   return (static_cast<std::uint32_t>(tid) << 16) | tag;
 }
 

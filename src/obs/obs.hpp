@@ -47,6 +47,10 @@ using RequestGid = std::uint32_t;
 
 [[nodiscard]] constexpr RequestGid request_gid(ThreadId tid,
                                                Tag tag) noexcept {
+  // The 16+16 pack is collision-free only while both components are
+  // 16-bit; widening either type must widen RequestGid with it.
+  static_assert(sizeof(ThreadId) * 8 <= 16 && sizeof(Tag) * 8 <= 16,
+                "request_gid packs (tid, tag) into 16-bit lanes");
   return (static_cast<RequestGid>(tid) << 16) | tag;
 }
 

@@ -9,6 +9,7 @@
 #include "cache/mshr.hpp"
 #include "check/check.hpp"
 #include "mac/coalescer.hpp"
+#include "mac/warp_coalescer.hpp"
 #include "mem/hmc_device.hpp"
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
@@ -444,6 +445,235 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
   return result;
 }
 
+/// SIMT lane-group feed (FeedMode::kLaneGroup): threads form consecutive
+/// groups of config.warp_lanes lanes. A group presents record step `s` of
+/// every lane in lane order — gated on all lanes having paid their compute
+/// gaps — and advances to step `s+1` only once every lane's step-`s`
+/// request completed, reproducing a warp scheduler's lockstep issue. Lanes
+/// with shorter streams simply drop out of later steps. Each lane has at
+/// most one request in flight, so a per-lane tag cursor never reissues a
+/// live (tid, tag).
+template <typename Path, typename Barrier>
+LoopResult run_lane_group(Path& path, const MemoryTrace& trace,
+                          const SimConfig& config, std::uint32_t threads,
+                          const DriveOptions& options, Barrier&& barrier) {
+  struct LaneState {
+    bool issued = false;       ///< current step's request accepted
+    bool outstanding = false;  ///< awaiting its completion
+    Cycle ready_at = 0;        ///< gap pacing for the current step
+    Cycle completed_at = 0;    ///< last completion (next step's gap base)
+    Tag tag = 0;
+    bool stamped = false;  ///< core_issue emitted for the current step
+  };
+  struct Group {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    std::size_t step = 0;
+    std::size_t steps = 0;  ///< longest lane stream in the group
+  };
+
+  threads = std::min(threads, trace.threads());
+  const std::uint32_t lanes = std::max<std::uint32_t>(1, config.warp_lanes);
+  std::vector<LaneState> lane_state(threads);
+  std::vector<Group> groups;
+  std::uint64_t records_left = 0;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const auto& records = trace.thread(static_cast<ThreadId>(t));
+    records_left += records.size();
+    if (!records.empty() && options.charge_gaps) {
+      lane_state[t].ready_at = records.front().gap;
+    }
+  }
+  for (std::uint32_t first = 0; first < threads; first += lanes) {
+    Group group;
+    group.first = first;
+    group.count = std::min(lanes, threads - first);
+    for (std::uint32_t l = 0; l < group.count; ++l) {
+      group.steps = std::max(
+          group.steps, trace.thread(static_cast<ThreadId>(first + l)).size());
+    }
+    groups.push_back(group);
+  }
+
+  Cycle now = 0;
+  LoopResult result;
+  std::uint64_t outstanding_total = 0;
+  const bool event_engine = engine_is_event(options.engine);
+#if MAC3D_OBS_ENABLED
+  ActivityCensus* const census = options.census;
+  HostProfiler* const profiler = options.profiler;
+#else
+  ActivityCensus* const census = nullptr;
+  HostProfiler* const profiler = nullptr;
+#endif
+
+  const auto participates = [&trace](const Group& group, std::uint32_t t) {
+    return trace.thread(static_cast<ThreadId>(t)).size() > group.step;
+  };
+  // Lockstep gate: the step may start only once every participating lane
+  // has paid its gap.
+  const auto group_gate = [&](const Group& group) -> Cycle {
+    Cycle gate = 0;
+    for (std::uint32_t l = 0; l < group.count; ++l) {
+      const std::uint32_t t = group.first + l;
+      if (!participates(group, t)) continue;
+      gate = std::max(gate, lane_state[t].ready_at);
+    }
+    return gate;
+  };
+
+  while (records_left > 0 || outstanding_total > 0 || !path.idle()) {
+    // Intake: groups in index order, lanes in lane order, until the
+    // path's intake ports reject one.
+    bool intake_open = records_left > 0;
+    for (Group& group : groups) {
+      if (!intake_open) break;
+      if (group.step >= group.steps) continue;
+      if (group_gate(group) > now) continue;
+      for (std::uint32_t l = 0; l < group.count && intake_open; ++l) {
+        const std::uint32_t t = group.first + l;
+        if (!participates(group, t)) continue;
+        LaneState& lane = lane_state[t];
+        if (lane.issued) continue;
+        const auto tid = static_cast<ThreadId>(t);
+        const MemRecord& record = trace.thread(tid)[group.step];
+        RawRequest request;
+        request.addr = record.addr;
+        request.op = record.op;
+        request.size = record.size;
+        request.tid = tid;
+        request.tag = lane.tag;
+        request.core = static_cast<CoreId>(t % config.cores);
+#if MAC3D_OBS_ENABLED
+        if (options.sink != nullptr && !lane.stamped) {
+          options.sink->on_stage(Stage::kCoreIssue, tid, lane.tag, now);
+          lane.stamped = true;
+        }
+#endif
+        if (!path.try_accept(request, now)) {
+          intake_open = false;
+          break;
+        }
+        lane.issued = true;
+        lane.outstanding = true;
+        if (census != nullptr) census->mark_feeder(now);
+        ++outstanding_total;
+        --records_left;
+      }
+    }
+
+    {
+      HostProfiler::Scope scope(profiler, HostPhase::kTick);
+      path.tick(now);
+    }
+    {
+      HostProfiler::Scope scope(profiler, HostPhase::kCommit);
+      barrier();
+    }
+    {
+      HostProfiler::Scope scope(profiler, HostPhase::kTelemetry);
+      for (const CompletedAccess& done : path.drain(now)) {
+        result.makespan = std::max(result.makespan, done.completed);
+        ++result.completions;
+        MAC3D_OBS_STAMP(options.sink, Stage::kCoreComplete, done.target.tid,
+                        done.target.tag, done.completed);
+        const std::uint32_t t = done.target.tid;
+        if (t >= threads) continue;
+        LaneState& lane = lane_state[t];
+        lane.outstanding = false;
+        lane.completed_at = std::max(lane.completed_at, done.completed);
+        --outstanding_total;
+      }
+      // Advance every group whose step fully completed.
+      for (Group& group : groups) {
+        if (group.step >= group.steps) continue;
+        bool done_step = true;
+        for (std::uint32_t l = 0; l < group.count; ++l) {
+          const std::uint32_t t = group.first + l;
+          if (!participates(group, t)) continue;
+          const LaneState& lane = lane_state[t];
+          if (!lane.issued || lane.outstanding) {
+            done_step = false;
+            break;
+          }
+        }
+        if (!done_step) continue;
+        ++group.step;
+        for (std::uint32_t l = 0; l < group.count; ++l) {
+          const std::uint32_t t = group.first + l;
+          LaneState& lane = lane_state[t];
+          lane.issued = false;
+          lane.stamped = false;
+          ++lane.tag;
+          const auto& records = trace.thread(static_cast<ThreadId>(t));
+          if (options.charge_gaps && group.step < records.size()) {
+            lane.ready_at = std::max(
+                lane.ready_at, lane.completed_at + records[group.step].gap);
+          }
+        }
+      }
+      // Serial point: the cycle's work (tick, barrier, drain) is done.
+      if (census != nullptr) census->observe(now);
+    }
+#if MAC3D_OBS_ENABLED
+    if (options.sampler != nullptr) {
+      HostProfiler::Scope scope(profiler, HostPhase::kSampler);
+      options.sampler->advance_to(now);
+    }
+#endif
+
+    // Advance time (see run_streaming): event engines jump to the
+    // earliest of (path event, earliest group gate).
+    if (!event_engine) {
+      ++now;
+      continue;
+    }
+    Cycle next = kNever;
+    if (records_left > 0) {
+      bool pending_now = false;
+      Cycle earliest = kNever;
+      for (const Group& group : groups) {
+        if (group.step >= group.steps) continue;
+        bool any_unissued = false;
+        for (std::uint32_t l = 0; l < group.count; ++l) {
+          const std::uint32_t t = group.first + l;
+          if (participates(group, t) && !lane_state[t].issued) {
+            any_unissued = true;
+            break;
+          }
+        }
+        // A fully issued group wakes on a completion (a path event).
+        if (!any_unissued) continue;
+        const Cycle gate = group_gate(group);
+        if (gate <= now) {
+          pending_now = true;
+          break;
+        }
+        earliest = std::min(earliest, gate);
+      }
+      if (pending_now) {
+        next = now + 1;
+      } else {
+        next = earliest;
+      }
+    }
+    const Cycle path_next = path.next_event(now);
+    if (path_next > now) next = std::min(next, path_next);
+    next = (next == kNever || next <= now) ? now + 1 : next;
+    if (next > now + 1) {
+      if (census != nullptr) census->skip_to(next);
+#if MAC3D_OBS_ENABLED
+      if (options.sampler != nullptr) {
+        HostProfiler::Scope scope(profiler, HostPhase::kSampler);
+        options.sampler->advance_to(next - 1);
+      }
+#endif
+    }
+    now = next;
+  }
+  return result;
+}
+
 template <typename Path>
 DriverResult finish(Path& path, const HmcDevice& device,
                     const LoopResult& loop, const char* name) {
@@ -497,9 +727,15 @@ LoopResult dispatch(Path& path, const MemoryTrace& trace,
                     const SimConfig& config, std::uint32_t threads,
                     const DriveOptions& options, EngineWindow& engine) {
   const auto barrier = [&engine] { engine.barrier(); };
-  return options.mode == FeedMode::kStreaming
-             ? run_streaming(path, trace, config, threads, options, barrier)
-             : run_closed_loop(path, trace, config, threads, options, barrier);
+  switch (options.mode) {
+    case FeedMode::kClosedLoop:
+      return run_closed_loop(path, trace, config, threads, options, barrier);
+    case FeedMode::kLaneGroup:
+      return run_lane_group(path, trace, config, threads, options, barrier);
+    case FeedMode::kStreaming:
+      break;
+  }
+  return run_streaming(path, trace, config, threads, options, barrier);
 }
 
 /// Scopes one run's slice of a (possibly shared) CheckContext: snapshots
@@ -789,6 +1025,75 @@ DriverResult run_mshr(const MemoryTrace& trace, const SimConfig& config,
   result.avg_latency_cycles = mshr.stats().raw_latency_cycles.mean();
   result.packets_by_size[block_bytes] = mshr.stats().packets_out;
   return result;
+}
+
+DriverResult run_warp(const MemoryTrace& trace, const SimConfig& config,
+                      std::uint32_t threads, const DriveOptions& options) {
+  HmcDevice device(config);
+  WarpCoalescer warp(config, device);
+  CheckWindow window(options.checks);
+  if (options.checks != nullptr) {
+    device.attach_checks(options.checks);
+    warp.attach_checks(options.checks);
+  }
+#if MAC3D_OBS_ENABLED
+  if (options.sink != nullptr) {
+    warp.attach_sink(options.sink);
+    device.attach_sink(options.sink);
+  }
+#endif
+#if MAC3D_OBS_ENABLED
+  CycleSampler* const sampler = options.sampler;
+  ActivityCensus* const census = options.census;
+#else
+  CycleSampler* const sampler = nullptr;
+  ActivityCensus* const census = nullptr;
+#endif
+  SamplerWindow swindow(sampler, "warp");
+  CensusWindow cwindow(census);
+#if MAC3D_OBS_ENABLED
+  if (sampler != nullptr) {
+    sampler->add_probe("queue_occupancy", [&warp](Cycle) {
+      return static_cast<double>(warp.occupancy());
+    });
+    sampler->add_probe("issue_backlog", [&warp](Cycle) {
+      return static_cast<double>(warp.window_backlog());
+    });
+    register_device_probes(*sampler, device);
+  }
+  if (census != nullptr) {
+    census->add_feeder("node0.feeder");
+    census->add_component("node0.warp", warp);
+    device.register_census(*census, "node0.");
+  }
+#endif
+  EngineWindow engine(options, device);
+  const LoopResult loop = dispatch(warp, trace, config, threads, options,
+                                   engine);
+  DriverResult result = finish(warp, device, loop, "warp");
+  swindow.close(loop.makespan);
+  window.close(result);
+  result.raw_requests = warp.stats().raw_in;
+  result.avg_latency_cycles = warp.stats().raw_latency_cycles.mean();
+  result.packets_by_size = warp.stats().packets_by_size;
+  return result;
+}
+
+DriverResult run_policy(CoalescerPolicy policy, const MemoryTrace& trace,
+                        const SimConfig& config, std::uint32_t threads,
+                        const DriveOptions& options) {
+  switch (policy) {
+    case CoalescerPolicy::kRaw:
+      return run_raw(trace, config, threads, options);
+    case CoalescerPolicy::kMshr:
+      return run_mshr(trace, config, threads, config.mshr_entries,
+                      config.mshr_block_bytes, options);
+    case CoalescerPolicy::kWarp:
+      return run_warp(trace, config, threads, options);
+    case CoalescerPolicy::kMac:
+      break;
+  }
+  return run_mac(trace, config, threads, options);
 }
 
 }  // namespace mac3d

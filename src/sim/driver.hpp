@@ -3,10 +3,12 @@
 // rate (one raw request per cycle, with back-pressure), the path drives
 // the HMC device model, and every paper metric is collected.
 //
-// Three paths are available over identical traces:
+// Four coalescer policies are available over identical traces
+// (DESIGN.md §policy):
 //   * MAC   — the paper's coalescer (MacCoalescer)
 //   * raw   — one 16 B transaction per raw request ("without MAC")
 //   * MSHR  — conventional fixed-64 B DMC baseline (Sec. 2.3)
+//   * warp  — SIMT-style warp-iterative coalescer (WarpCoalescer)
 #pragma once
 
 #include <cstdint>
@@ -37,6 +39,13 @@ enum class FeedMode {
   /// their recorded compute gaps. Used by the feed-mode ablation and the
   /// full-system (arch/) examples.
   kClosedLoop,
+  /// SIMT lane groups: threads are partitioned into consecutive groups of
+  /// config.warp_lanes lanes; a group presents record `s` of all its
+  /// lanes back-to-back (lane order) and advances to record `s+1` only
+  /// when every lane's request completed — the lockstep issue pattern a
+  /// warp scheduler produces, and the natural feed for the warp policy
+  /// (any path accepts it).
+  kLaneGroup,
 };
 
 /// Which execution engine steps the memory pipeline (docs/PARALLELISM.md).
@@ -139,7 +148,7 @@ struct DriveOptions {
 };
 
 struct DriverResult {
-  std::string path;                ///< "mac", "raw" or "mshr"
+  std::string path;                ///< "mac", "raw", "mshr" or "warp"
   Cycle makespan = 0;              ///< cycle the last completion arrived
   std::uint64_t raw_requests = 0;  ///< loads + stores + atomics fed in
   std::uint64_t packets = 0;       ///< HMC transactions dispatched
@@ -197,5 +206,21 @@ struct DriverResult {
                                     std::uint32_t mshr_entries = 32,
                                     std::uint32_t block_bytes = 64,
                                     const DriveOptions& options = {});
+
+/// Same trace through the SIMT-style warp-iterative coalescer
+/// (config.warp_lanes / warp_block_bytes / warp_window_cycles).
+[[nodiscard]] DriverResult run_warp(const MemoryTrace& trace,
+                                    const SimConfig& config,
+                                    std::uint32_t threads,
+                                    const DriveOptions& options = {});
+
+/// Dispatch on the policy enum (the MSHR path takes its geometry from
+/// config.mshr_entries / config.mshr_block_bytes). This is the single
+/// entry point the CLI's --policy flag and the policy benches go through.
+[[nodiscard]] DriverResult run_policy(CoalescerPolicy policy,
+                                      const MemoryTrace& trace,
+                                      const SimConfig& config,
+                                      std::uint32_t threads,
+                                      const DriveOptions& options = {});
 
 }  // namespace mac3d

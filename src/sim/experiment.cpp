@@ -54,6 +54,10 @@ std::vector<WorkloadRun> run_suite(const SuiteOptions& options) {
                           options.mshr_entries, options.mshr_block_bytes,
                           options.drive);
     }
+    if (options.run_warp) {
+      run.warp = run_warp(trace, options.config, options.threads,
+                          options.drive);
+    }
   };
 
   // Shared telemetry/check hooks capture per-run state (probe windows,

@@ -21,6 +21,7 @@ struct SuiteOptions {
   bool run_raw = true;
   bool run_mac = true;
   bool run_mshr = false;
+  bool run_warp = false;
   std::uint32_t mshr_entries = 32;
   std::uint32_t mshr_block_bytes = 64;
   std::vector<std::string> only;  ///< restrict to these workloads if set
@@ -32,7 +33,7 @@ struct SuiteOptions {
   /// capture per-run state and must observe runs one at a time).
   std::uint32_t jobs = 1;
   /// Per-run driver options (engine, feed mode, tag pool, hooks). The
-  /// suite forwards it to every run_raw/run_mac/run_mshr call.
+  /// suite forwards it to every run_raw/run_mac/run_mshr/run_warp call.
   DriveOptions drive;
 };
 
@@ -53,6 +54,18 @@ struct WorkloadRun {
   DriverResult raw;   ///< valid if options.run_raw
   DriverResult mac;   ///< valid if options.run_mac
   DriverResult mshr;  ///< valid if options.run_mshr
+  DriverResult warp;  ///< valid if options.run_warp
+
+  /// The run for `policy` (valid only if the matching run_* flag was set).
+  [[nodiscard]] const DriverResult& result(CoalescerPolicy policy) const {
+    switch (policy) {
+      case CoalescerPolicy::kRaw: return raw;
+      case CoalescerPolicy::kMshr: return mshr;
+      case CoalescerPolicy::kWarp: return warp;
+      case CoalescerPolicy::kMac: break;
+    }
+    return mac;
+  }
 };
 
 /// Generate each workload's trace once and run it through the requested

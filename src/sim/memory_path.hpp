@@ -1,0 +1,70 @@
+// Runtime-polymorphic front-end between a Node's router and its HMC
+// device (DESIGN.md §policy). The streaming drivers stay templated
+// on the concrete path types (zero-cost); the full-system Node selects
+// its path once at construction from SimConfig::policy, so one virtual
+// hop per call is paid only where the policy is a run-time knob.
+//
+// Adapters exist for all four policies — mac, raw, mshr, warp — and keep
+// each path's established metric / census / check-scope namespaces, so a
+// default (mac) system run is byte-identical to the pre-interface output.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mac/coalescer.hpp"  // CompletedAccess
+
+namespace mac3d {
+
+class ActivityCensus;
+class CheckContext;
+class EventSink;
+class HmcDevice;
+class MacCoalescer;
+
+class MemoryPath {
+ public:
+  virtual ~MemoryPath();
+
+  [[nodiscard]] virtual CoalescerPolicy policy() const noexcept = 0;
+  /// The namespace leaf ("mac", "raw", "mshr", "warp") used for metric
+  /// prefixes, census rows and check scopes.
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  [[nodiscard]] virtual bool can_accept() const = 0;
+  virtual bool try_accept(const RawRequest& request, Cycle now) = 0;
+  virtual void accept(const RawRequest& request, Cycle now) = 0;
+  virtual void tick(Cycle now) = 0;
+  virtual std::vector<CompletedAccess> drain(Cycle now) = 0;
+  [[nodiscard]] virtual bool idle() const = 0;
+  [[nodiscard]] virtual Cycle next_event(Cycle now) const = 0;
+
+  // ---- Activity oracle (docs/PARALLELISM.md §event-driven engine) --------
+  [[nodiscard]] virtual bool did_work_this_cycle(Cycle now) const = 0;
+  [[nodiscard]] virtual Cycle next_activity_cycle(Cycle now) const = 0;
+
+  /// Attach invariant checking; `scope_prefix` is the owner's namespace
+  /// ("node0."), to which the path appends its name().
+  virtual void attach_checks(CheckContext* context,
+                             const std::string& scope_prefix) = 0;
+  virtual void attach_sink(EventSink* sink) = 0;
+  /// Register this path's census rows under `prefix` + its unit names
+  /// (the MAC contributes mac/arq/builder/flit_table, the others one row).
+  virtual void register_census(ActivityCensus& census,
+                               const std::string& prefix) = 0;
+  /// Emit the path's stats under `prefix` + "." + name() + ".*".
+  virtual void collect(StatSet& out, const std::string& prefix) const = 0;
+
+  /// Non-null only for the MAC adapter (paper-specific accessors).
+  [[nodiscard]] virtual MacCoalescer* as_mac() noexcept { return nullptr; }
+};
+
+/// Build the path selected by config.policy over `device`.
+[[nodiscard]] std::unique_ptr<MemoryPath> make_memory_path(
+    const SimConfig& config, HmcDevice& device);
+
+}  // namespace mac3d

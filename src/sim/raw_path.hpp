@@ -186,11 +186,11 @@ class RawPath {
   }
 
  private:
-  static std::uint32_t key(const RawRequest& request) noexcept {
-    return (static_cast<std::uint32_t>(request.tid) << 16) | request.tag;
+  static std::uint64_t key(const RawRequest& request) noexcept {
+    return request_key(request.tid, request.tag);
   }
-  static std::uint32_t key(const Target& target) noexcept {
-    return (static_cast<std::uint32_t>(target.tid) << 16) | target.tag;
+  static std::uint64_t key(const Target& target) noexcept {
+    return request_key(target.tid, target.tag);
   }
 
   Cycle take_accept(const Target& target, Cycle fallback) {

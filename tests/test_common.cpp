@@ -9,8 +9,11 @@
 #include "common/bitutil.hpp"
 #include "common/config.hpp"
 #include "common/fixed_queue.hpp"
+#include "common/flat_cycle_map.hpp"
+#include "common/ring_queue.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/types.hpp"
 
 namespace mac3d {
 namespace {
@@ -386,6 +389,139 @@ TEST(Config, TableRenderMentionsKeyParameters) {
   EXPECT_NE(table.find("3.3 GHz"), std::string::npos);
   EXPECT_NE(table.find("32 entries"), std::string::npos);
   EXPECT_NE(table.find("256B-block"), std::string::npos);
+}
+
+// ---------------------------------------------------------- flat_cycle_map
+TEST(FlatCycleMap, PutTakeRoundTrip) {
+  FlatCycleMap map;
+  EXPECT_TRUE(map.empty());
+  map.put(request_key(3, 7), 100);
+  map.put(request_key(3, 8), 200);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.take(request_key(3, 7), 0), 100u);
+  EXPECT_EQ(map.take(request_key(3, 7), 55), 55u);  // already removed
+  EXPECT_EQ(map.take(request_key(9, 9), 55), 55u);  // never inserted
+  EXPECT_EQ(map.size(), 1u);
+}
+
+// Regression: put() must probe for the key before the load-factor check.
+// The original order grew the table on every update once the map sat at
+// the load-factor boundary — a spurious rehash per update, and the probe
+// slot the update was standing on became stale.
+TEST(FlatCycleMap, UpdateAtLoadFactorBoundaryDoesNotGrow) {
+  FlatCycleMap map;
+  // 12 distinct keys fill a 16-slot table right up to the 3/4 boundary:
+  // one more *distinct* key must grow, but updates never may.
+  for (std::uint64_t k = 0; k < 12; ++k) map.put(request_key(1, Tag(k)), k);
+  ASSERT_EQ(map.capacity(), 16u);
+  ASSERT_EQ(map.size(), 12u);
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    map.put(request_key(1, Tag(k)), 1000 + k);  // in-place update
+    EXPECT_EQ(map.capacity(), 16u) << "update of key " << k << " rehashed";
+  }
+  EXPECT_EQ(map.size(), 12u);
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    EXPECT_EQ(map.take(request_key(1, Tag(k)), 0), 1000 + k);
+  }
+  // The 13th distinct key is the one that grows.
+  for (std::uint64_t k = 0; k < 12; ++k) map.put(request_key(1, Tag(k)), k);
+  map.put(request_key(2, 0), 99);
+  EXPECT_EQ(map.capacity(), 32u);
+  EXPECT_EQ(map.size(), 13u);
+}
+
+// ---------------------------------------------------------------- ring_queue
+TEST(RingQueue, FifoOrderAcrossGrowth) {
+  RingQueue<int> queue;
+  for (int i = 0; i < 100; ++i) queue.push_back(i);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(queue.front(), i);
+    EXPECT_EQ(queue.at(0), i);
+    queue.pop_front();
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(RingQueue, GrowWithWrappedContentsKeepsOrder) {
+  // Drive head_ past the middle of the ring, then force a grow() while
+  // the live span wraps around the buffer end (head > tail internally).
+  RingQueue<int> queue;
+  for (int i = 0; i < 16; ++i) queue.push_back(i);     // fill to capacity
+  for (int i = 0; i < 12; ++i) queue.pop_front();      // head_ = 12
+  for (int i = 16; i < 28; ++i) queue.push_back(i);    // wraps, full again
+  queue.push_back(28);                                 // grow() with wrap
+  ASSERT_EQ(queue.size(), 17u);
+  for (int i = 12; i <= 28; ++i) {
+    EXPECT_EQ(queue.front(), i);
+    queue.pop_front();
+  }
+}
+
+// ------------------------------------------------------------- request_key
+TEST(RequestKey, LanesNeverAlias) {
+  // Each component owns a full 32-bit lane; the packed key must
+  // round-trip both halves even at the extremes of their types. (The
+  // 16-bit-shift pack this replaced aliased (tid, tag) pairs as soon as
+  // a tag outgrew 16 bits.)
+  const ThreadId tids[] = {0, 1, 0x7FFF, 0xFFFF};
+  const Tag tags[] = {0, 1, 0x7FFF, 0xFFFF};
+  std::set<std::uint64_t> seen;
+  for (const ThreadId tid : tids) {
+    for (const Tag tag : tags) {
+      const std::uint64_t key = request_key(tid, tag);
+      EXPECT_EQ(key >> 32, static_cast<std::uint64_t>(tid));
+      EXPECT_EQ(key & 0xFFFFFFFFull, static_cast<std::uint64_t>(tag));
+      EXPECT_TRUE(seen.insert(key).second)
+          << "alias at tid=" << tid << " tag=" << tag;
+    }
+  }
+  // Compile-time: the widest tag cannot spill into the tid lane.
+  static_assert(request_key(0, 0xFFFF) != request_key(1, 0));
+  static_assert(request_key(0xFFFF, 0xFFFF) == 0xFFFF0000FFFFull);
+}
+
+// --------------------------------------------------------- coalescer policy
+TEST(CoalescerPolicyNames, RoundTripAndRejectUnknown) {
+  for (const CoalescerPolicy policy :
+       {CoalescerPolicy::kRaw, CoalescerPolicy::kMac, CoalescerPolicy::kMshr,
+        CoalescerPolicy::kWarp}) {
+    CoalescerPolicy parsed = CoalescerPolicy::kMac;
+    EXPECT_TRUE(parse_policy(to_string(policy), parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  CoalescerPolicy parsed = CoalescerPolicy::kMshr;
+  EXPECT_FALSE(parse_policy("simd", parsed));
+  EXPECT_EQ(parsed, CoalescerPolicy::kMshr);  // untouched on failure
+}
+
+TEST(Config, PolicyOverrideRoundTrip) {
+  SimConfig config;
+  EXPECT_EQ(config.policy, CoalescerPolicy::kMac);
+  config.parse_override_string("policy=warp");
+  EXPECT_EQ(config.policy, CoalescerPolicy::kWarp);
+  // to_kv emits the policy as a quoted JSON string token (run reports
+  // embed config values raw); parsing must accept its own output.
+  EXPECT_EQ(config.to_kv().at("policy"), "\"warp\"");
+  config.parse_override_string("policy=\"mshr\"");
+  EXPECT_EQ(config.policy, CoalescerPolicy::kMshr);
+  EXPECT_THROW(config.parse_override_string("policy=simd"), ConfigError);
+  EXPECT_EQ(config.policy, CoalescerPolicy::kMshr);
+}
+
+TEST(Config, WarpKnobsValidate) {
+  SimConfig config;
+  config.policy = CoalescerPolicy::kWarp;
+  config.validate();  // defaults are legal
+  config.warp_lanes = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.warp_lanes = 8;
+  config.warp_block_bytes = 48;  // not a power of two
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.warp_block_bytes = 512;  // beyond the 256 B packet ceiling
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.warp_block_bytes = 64;
+  config.warp_window_cycles = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
 }
 
 }  // namespace

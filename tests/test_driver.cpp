@@ -99,6 +99,92 @@ TEST(Driver, MshrPathDispatchesFixedBlocks) {
   EXPECT_EQ(mshr.packets_by_size.begin()->first, 64u);
 }
 
+TEST(Driver, WarpPathCoalescesAdjacentLanes) {
+  // Warp-adjacent accesses: lane t of each step touches consecutive
+  // FLITs of one block, the canonical fully-coalescable SIMT pattern.
+  SimConfig config;
+  MemoryTrace trace(8);
+  for (std::uint32_t step = 0; step < 200; ++step) {
+    for (std::uint32_t t = 0; t < 8; ++t) {
+      trace.instr(static_cast<ThreadId>(t), 2);
+      trace.load(static_cast<ThreadId>(t),
+                 static_cast<Address>(step) * 128 + t * 16);
+    }
+  }
+  const DriverResult warp = run_warp(trace, config, 8);
+  EXPECT_EQ(warp.raw_requests, 1600u);
+  EXPECT_EQ(warp.completions, 1600u);
+  // Eight same-block lanes per window merge into few iterations.
+  EXPECT_LT(warp.packets, warp.raw_requests / 2);
+  EXPECT_GT(warp.coalescing_efficiency(), 0.5);
+}
+
+TEST(Driver, WarpPathDivergedLanesBarelyCoalesce) {
+  SimConfig config;
+  const MemoryTrace trace = random_trace(8, 300);
+  const DriverResult warp = run_warp(trace, config, 8);
+  EXPECT_EQ(warp.completions, warp.raw_requests);
+  // Random addresses diverge: nearly one packet per lane.
+  EXPECT_GT(warp.packets, warp.raw_requests * 9 / 10);
+}
+
+TEST(Driver, RunPolicyDispatchesToTheMatchingPath) {
+  SimConfig config;
+  const MemoryTrace trace = shared_row_trace(8, 100);
+  const auto json = [&](const DriverResult& result) {
+    StatSet stats;
+    result.collect(stats, "path");
+    return stats.to_json();
+  };
+  EXPECT_EQ(json(run_policy(CoalescerPolicy::kRaw, trace, config, 8)),
+            json(run_raw(trace, config, 8)));
+  EXPECT_EQ(json(run_policy(CoalescerPolicy::kMac, trace, config, 8)),
+            json(run_mac(trace, config, 8)));
+  EXPECT_EQ(json(run_policy(CoalescerPolicy::kMshr, trace, config, 8)),
+            json(run_mshr(trace, config, 8, config.mshr_entries,
+                          config.mshr_block_bytes)));
+  EXPECT_EQ(json(run_policy(CoalescerPolicy::kWarp, trace, config, 8)),
+            json(run_warp(trace, config, 8)));
+}
+
+TEST(Driver, LaneGroupFeedCompletesEverythingOnEveryPath) {
+  SimConfig config;
+  config.warp_lanes = 4;
+  const MemoryTrace trace = shared_row_trace(8, 60);
+  DriveOptions options;
+  options.mode = FeedMode::kLaneGroup;
+  for (const CoalescerPolicy policy :
+       {CoalescerPolicy::kRaw, CoalescerPolicy::kMac, CoalescerPolicy::kMshr,
+        CoalescerPolicy::kWarp}) {
+    const DriverResult result = run_policy(policy, trace, config, 8, options);
+    EXPECT_EQ(result.raw_requests, 480u) << to_string(policy);
+    EXPECT_EQ(result.completions, 480u) << to_string(policy);
+    EXPECT_GT(result.makespan, 0u) << to_string(policy);
+  }
+}
+
+TEST(Driver, LaneGroupFeedKeepsLanesInLockstep) {
+  // In lockstep the warp policy sees all of a group's same-step requests
+  // back-to-back, so the canonical SIMT pattern coalesces at least as
+  // well as under free streaming.
+  SimConfig config;
+  MemoryTrace trace(8);
+  for (std::uint32_t step = 0; step < 150; ++step) {
+    for (std::uint32_t t = 0; t < 8; ++t) {
+      trace.instr(static_cast<ThreadId>(t), 2);
+      trace.load(static_cast<ThreadId>(t),
+                 static_cast<Address>(step) * 128 + t * 16);
+    }
+  }
+  DriveOptions lockstep;
+  lockstep.mode = FeedMode::kLaneGroup;
+  const DriverResult grouped = run_warp(trace, config, 8, lockstep);
+  const DriverResult streamed = run_warp(trace, config, 8);
+  EXPECT_EQ(grouped.completions, grouped.raw_requests);
+  EXPECT_GE(grouped.coalescing_efficiency(),
+            streamed.coalescing_efficiency());
+}
+
 TEST(Driver, MacAdaptsPacketSizesBeyondTheMshrCap) {
   // Sec. 2.3: the MSHR baseline is capped at fixed 64 B packets; the MAC
   // adapts the transaction size up to the full row. (The whole-suite

@@ -59,6 +59,12 @@ MemoryTrace locality_trace(double locality, std::uint32_t threads,
   return trace;
 }
 
+CoalescerPolicy policy_of(const std::string& path) {
+  CoalescerPolicy policy = CoalescerPolicy::kMac;
+  EXPECT_TRUE(parse_policy(path, policy)) << path;
+  return policy;
+}
+
 /// Run one path under the given options and render everything comparable
 /// about the run into one JSON string: the full StatSet, the check
 /// counters and the idle-census export. String equality == bit identity
@@ -70,14 +76,8 @@ std::string run_fingerprint(const std::string& path, const MemoryTrace& trace,
   ActivityCensus census;
   options.checks = &checks;
   options.census = &census;
-  DriverResult result;
-  if (path == "mac") {
-    result = run_mac(trace, config, threads, options);
-  } else if (path == "raw") {
-    result = run_raw(trace, config, threads, options);
-  } else {
-    result = run_mshr(trace, config, threads, 32, 64, options);
-  }
+  const DriverResult result =
+      run_policy(policy_of(path), trace, config, threads, options);
   StatSet stats;
   result.collect(stats, path);
   stats.set("checks.run", static_cast<double>(result.checks_run));
@@ -103,11 +103,19 @@ struct GridCase {
   std::uint32_t engine_threads;
 };
 
+const char* mode_name(FeedMode mode) {
+  switch (mode) {
+    case FeedMode::kStreaming: return "_streaming_";
+    case FeedMode::kClosedLoop: return "_closedloop_";
+    case FeedMode::kLaneGroup: return "_lanegroup_";
+  }
+  return "_unknown_";
+}
+
 std::string case_name(const ::testing::TestParamInfo<GridCase>& info) {
   const GridCase& c = info.param;
-  return std::string(c.path) +
-         (c.mode == FeedMode::kStreaming ? "_streaming_" : "_closedloop_") +
-         engine_name(c.engine) + "_" + std::to_string(c.engine_threads) + "t";
+  return std::string(c.path) + mode_name(c.mode) + engine_name(c.engine) +
+         "_" + std::to_string(c.engine_threads) + "t";
 }
 
 // ------------- paths x feed modes x engines x worker counts, full grid
@@ -135,7 +143,7 @@ TEST_P(EngineGrid, EngineMatchesSerialBitForBit) {
 
 std::vector<GridCase> grid_cases() {
   std::vector<GridCase> cases;
-  for (const char* path : {"mac", "raw", "mshr"}) {
+  for (const char* path : {"mac", "raw", "mshr", "warp"}) {
     for (const FeedMode mode : {FeedMode::kStreaming, FeedMode::kClosedLoop}) {
       // The event engine is single-threaded; the staged engines sweep
       // worker counts.
@@ -145,6 +153,11 @@ std::vector<GridCase> grid_cases() {
         cases.push_back({path, mode, Engine::kEventParallel, threads});
       }
     }
+    // The SIMT lockstep feed (a warp scheduler's issue pattern) must be
+    // engine-invariant for every policy, not just the warp coalescer.
+    cases.push_back({path, FeedMode::kLaneGroup, Engine::kEvent, 1});
+    cases.push_back({path, FeedMode::kLaneGroup, Engine::kParallel, 4});
+    cases.push_back({path, FeedMode::kLaneGroup, Engine::kEventParallel, 4});
   }
   return cases;
 }
@@ -163,15 +176,9 @@ TEST(ReportEquivalence, SerialAndParallelReportsRenderIdentically) {
     options.engine_threads = 4;
     RunReport report;
     report.set_config(config);
-    for (const char* path : {"raw", "mac", "mshr"}) {
-      DriverResult result;
-      if (std::string(path) == "mac") {
-        result = run_mac(trace, config, 8, options);
-      } else if (std::string(path) == "raw") {
-        result = run_raw(trace, config, 8, options);
-      } else {
-        result = run_mshr(trace, config, 8, 32, 64, options);
-      }
+    for (const char* path : {"raw", "mac", "mshr", "warp"}) {
+      const DriverResult result =
+          run_policy(policy_of(path), trace, config, 8, options);
       StatSet stats;
       result.collect(stats, path);
       report.set_path_stats(path, stats);
@@ -339,26 +346,42 @@ TEST(SystemEquivalence, SingleNodeNeedsNoFabricAndStillMatches) {
   EXPECT_EQ(expected.stats.to_json(), actual.stats.to_json());
 }
 
-TEST(SystemEquivalence, ZeroHopFabricIsRejected) {
+TEST(SystemEquivalence, ZeroHopFabricIsRejectedByEveryEngine) {
+  // A zero-hop fabric is unreproducible under the staged schedule, so all
+  // four engines must refuse it identically — the serial engines accepting
+  // what the staged ones reject would silently break the equivalence
+  // contract (the historical behavior this pins down).
   SimConfig config;
   config.nodes = 2;
   config.remote_hop_cycles = 0;
   const MemoryTrace trace = locality_trace(0.5, 4, 50, 47);
-  System system(config);
-  system.attach_trace(trace);
-  EXPECT_THROW(system.run_parallel(2), std::invalid_argument);
-  // The staged restriction applies to the event-parallel engine too...
-  System event_system(config);
-  event_system.attach_trace(trace);
-  EXPECT_THROW(event_system.run_event_parallel(2), std::invalid_argument);
-  // ...but not to the serial event engine, which uses the live fabric.
-  System serial_event(config);
-  serial_event.attach_trace(trace);
-  System serial_reference(config);
-  serial_reference.attach_trace(trace);
-  const SystemRunSummary expected = serial_reference.run();
-  const SystemRunSummary actual = serial_event.run_event();
-  EXPECT_EQ(expected.stats.to_json(), actual.stats.to_json());
+  for (int engine = 0; engine < 4; ++engine) {
+    System system(config);
+    system.attach_trace(trace);
+    switch (engine) {
+      case 0:
+        EXPECT_THROW(system.run(), std::invalid_argument) << "run";
+        break;
+      case 1:
+        EXPECT_THROW(system.run_parallel(2), std::invalid_argument)
+            << "run_parallel";
+        break;
+      case 2:
+        EXPECT_THROW(system.run_event(), std::invalid_argument)
+            << "run_event";
+        break;
+      default:
+        EXPECT_THROW(system.run_event_parallel(2), std::invalid_argument)
+            << "run_event_parallel";
+        break;
+    }
+  }
+  // A single node never crosses the fabric, so zero hops stays legal there.
+  SimConfig single = config;
+  single.nodes = 1;
+  System system(single);
+  system.attach_trace(trace);  // attach_trace keeps a reference
+  EXPECT_TRUE(system.run().completed);
 }
 
 TEST(SystemEquivalence, ChecksMatchUnderBothEngines) {
@@ -403,6 +426,9 @@ TEST_P(EquivalenceFuzz, RandomConfigsStayBitIdentical) {
   config.arq_entries = 4u << rng.below(5);       // 4 .. 64
   config.builder_min_bytes = 16u << rng.below(3);  // 16 / 32 / 64
   config.open_page = rng.below(2) == 0;
+  config.warp_lanes = 2u << rng.below(4);  // 2 .. 16
+  config.warp_window_cycles =
+      1u + static_cast<std::uint32_t>(rng.below(12));  // 1 .. 12
   config.validate();
 
   const std::uint32_t threads = 1u + static_cast<std::uint32_t>(rng.below(8));
@@ -426,7 +452,7 @@ TEST_P(EquivalenceFuzz, RandomConfigsStayBitIdentical) {
   DriveOptions event_parallel = parallel;
   event_parallel.engine = Engine::kEventParallel;
 
-  for (const char* path : {"mac", "raw", "mshr"}) {
+  for (const char* path : {"mac", "raw", "mshr", "warp"}) {
     const std::string expected =
         run_fingerprint(path, trace, config, threads, serial);
     EXPECT_EQ(expected, run_fingerprint(path, trace, config, threads, parallel))

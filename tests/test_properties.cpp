@@ -3,8 +3,14 @@
 // monotonicity and bound properties of DESIGN.md §6.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <deque>
 #include <tuple>
+#include <unordered_map>
+#include <vector>
 
+#include "common/flat_cycle_map.hpp"
+#include "common/ring_queue.hpp"
 #include "common/rng.hpp"
 #include "sim/driver.hpp"
 #include "workloads/all.hpp"
@@ -194,6 +200,118 @@ TEST_P(SeedFuzz, RandomTrafficNeverBreaksInvariants) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedFuzz,
                          ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
                                            13ull, 21ull, 34ull));
+
+// ------------------------------------------------- container property fuzz
+// The hot-path containers (common/flat_cycle_map.hpp, ring_queue.hpp)
+// replace std::unordered_map / std::deque on the driver's critical loops;
+// these differentials pin them to the standard containers' semantics.
+
+/// FlatCycleMap's home slot (the Fibonacci hash), replicated so tests can
+/// construct keys whose probe chains straddle the ring boundary.
+std::size_t fib_home(std::uint64_t key, std::size_t capacity) {
+  return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
+         (capacity - 1);
+}
+
+// Backward-shift deletion across the wrap-around: cluster keys whose
+// homes sit in the last slots of a 16-slot table so their probe chains
+// wrap to slot 0, then delete in many different orders. Every order must
+// leave exactly the reference's surviving keys findable — a shift that
+// moves an element in front of its home (the classic wrap bug) loses it.
+TEST(FlatCycleMapProperty, WrapAroundDeletionMatchesReference) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 1; keys.size() < 10; ++k) {
+    if (fib_home(k, 16) >= 13) keys.push_back(k);
+  }
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    FlatCycleMap map;
+    std::unordered_map<std::uint64_t, Cycle> ref;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (rng.below(4) == 0) continue;  // vary the insertion subset
+      map.put(keys[i], 100 + i);
+      ref[keys[i]] = 100 + i;
+    }
+    ASSERT_EQ(map.capacity(), 16u);  // all homes really share one table
+    std::vector<std::uint64_t> order = keys;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    for (const std::uint64_t key : order) {
+      const auto it = ref.find(key);
+      const Cycle expected = it == ref.end() ? 7777 : it->second;
+      EXPECT_EQ(map.take(key, 7777), expected) << "trial " << trial;
+      if (it != ref.end()) ref.erase(it);
+    }
+    EXPECT_TRUE(map.empty()) << "trial " << trial;
+  }
+}
+
+// Random put/take/clear stream over a small key universe (heavy collision
+// and deletion traffic) — size and every take result must match
+// std::unordered_map at each step.
+TEST(FlatCycleMapProperty, RandomOpsMatchUnorderedMap) {
+  Xoshiro256 rng(2024);
+  FlatCycleMap map;
+  std::unordered_map<std::uint64_t, Cycle> ref;
+  for (int op = 0; op < 100000; ++op) {
+    const std::uint64_t key = rng.below(97);
+    switch (rng.below(5)) {
+      case 0:
+      case 1:
+      case 2: {
+        const Cycle value = rng.below(1u << 20);
+        map.put(key, value);
+        ref[key] = value;
+        break;
+      }
+      case 3: {
+        const auto it = ref.find(key);
+        const Cycle expected = it == ref.end() ? 424242 : it->second;
+        ASSERT_EQ(map.take(key, 424242), expected) << "op " << op;
+        if (it != ref.end()) ref.erase(it);
+        break;
+      }
+      default:
+        if (rng.below(500) == 0) {
+          map.clear();
+          ref.clear();
+        }
+        break;
+    }
+    ASSERT_EQ(map.size(), ref.size()) << "op " << op;
+  }
+}
+
+// RingQueue vs std::deque, with pop-heavy phases so the live span's head
+// climbs past the midpoint before growth — grow() must relocate a
+// wrapped (head > tail) span without reordering it.
+TEST(RingQueueProperty, RandomOpsMatchDeque) {
+  Xoshiro256 rng(7);
+  RingQueue<std::uint64_t> queue;
+  std::deque<std::uint64_t> ref;
+  std::uint64_t next = 0;
+  for (int op = 0; op < 200000; ++op) {
+    // Phase-dependent push bias: drain phases advance the head, push
+    // phases then force grow() while the contents wrap.
+    const bool push_phase = (op / 1000) % 2 == 0;
+    if (ref.empty() || rng.below(10) < (push_phase ? 7u : 3u)) {
+      queue.push_back(next);
+      ref.push_back(next);
+      ++next;
+    } else {
+      ASSERT_EQ(queue.front(), ref.front()) << "op " << op;
+      queue.pop_front();
+      ref.pop_front();
+    }
+    ASSERT_EQ(queue.size(), ref.size()) << "op " << op;
+    if (op % 4096 == 0 && !ref.empty()) {
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(queue.at(i), ref[i]) << "op " << op << " index " << i;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace mac3d
