@@ -23,6 +23,7 @@
 #include "arch/system.hpp"
 #include "check/check.hpp"
 #include "lint/lint.hpp"
+#include "obs/analysis.hpp"
 #include "obs/latency.hpp"
 #include "obs/lifecycle.hpp"
 #include "obs/profiler.hpp"
@@ -30,6 +31,7 @@
 #include "obs/report_diff.hpp"
 #include "obs/run_report.hpp"
 #include "obs/sampler.hpp"
+#include "obs/snapshot.hpp"
 #include "sim/driver.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
@@ -73,6 +75,13 @@ struct CliOptions {
   std::uint64_t sample_every = 0;  ///< sampler period (0 = off)
   std::string sample_out;      ///< sampler CSV output
   std::string report_path;     ///< machine-readable run report JSON
+  std::uint64_t snapshot_every = 0;  ///< snapshot window (0 = off)
+  std::string snapshot_out;    ///< snapshot JSONL output
+  bool watchdog = false;       ///< stall watchdog (implies snapshots)
+  std::uint64_t watchdog_windows = 3;  ///< stalled windows before firing
+  std::uint64_t inject_livelock = 0;   ///< stop draining at cycle N (run)
+  /// --node-policy i=p entries, system command (heterogeneous nodes).
+  std::vector<std::string> node_policies;
   std::vector<std::string> overrides;
 };
 
@@ -80,7 +89,9 @@ void usage() {
   std::fprintf(stderr,
                "usage: mac3d <run|suite|system|trace|list|config> [options]\n"
                "       mac3d report-diff OLD NEW [--tolerance PCT] "
-               "[--ignore PATH] [--allow-missing]\n"
+               "[--ignore PATH|SECTION|GLOB] [--allow-missing]\n"
+               "       mac3d analyze REPORT --snapshots FILE [--json FILE] "
+               "[--tolerance PCT]\n"
                "       mac3d lint [--root DIR] [--baseline FILE] "
                "[--sarif FILE] [--write-baseline FILE] [--list-rules]\n"
                "  --workload NAME   workload to trace (default sg)\n"
@@ -122,7 +133,25 @@ void usage() {
                "  --sample-every N  sample occupancy probes every N cycles\n"
                "  --sample-out F    write the sampled time series as CSV\n"
                "  --report F        write a machine-readable run report "
-               "(JSON)\n");
+               "(JSON)\n"
+               "  --snapshot-every N  stream windowed telemetry snapshots "
+               "every N cycles\n"
+               "  --snapshot-out F  write the snapshot stream "
+               "(mac3d-snapshot/1 JSONL)\n"
+               "  --watchdog        abandon the run (exit 1) after N "
+               "observed windows\n"
+               "                    with zero completions while work is in "
+               "flight\n"
+               "  --watchdog-windows N  stalled windows before firing "
+               "(default 3)\n"
+               "  --inject-livelock C  fault injection: stop draining "
+               "completions at\n"
+               "                    cycle C (run command; requires "
+               "--watchdog)\n"
+               "  --node-policy I=P heterogeneous nodes: node I runs policy "
+               "P (system\n"
+               "                    command, repeatable; others use "
+               "--policy)\n");
 }
 
 std::optional<CliOptions> parse(int argc, char** argv) {
@@ -219,6 +248,28 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       options.sample_out = value();
     } else if (arg == "--report") {
       options.report_path = value();
+    } else if (arg == "--snapshot-every") {
+      options.snapshot_every = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--snapshot-out") {
+      options.snapshot_out = value();
+    } else if (arg == "--watchdog") {
+      options.watchdog = true;
+    } else if (arg == "--watchdog-windows") {
+      options.watchdog_windows = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--inject-livelock") {
+      options.inject_livelock = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--node-policy") {
+      const std::string entry = value();
+      const std::size_t eq = entry.find('=');
+      CoalescerPolicy parsed;
+      if (eq == std::string::npos || eq == 0 ||
+          !parse_policy(entry.substr(eq + 1), parsed)) {
+        std::fprintf(stderr,
+                     "bad --node-policy '%s' (want I=raw|mac|mshr|warp)\n",
+                     entry.c_str());
+        return std::nullopt;
+      }
+      options.node_policies.push_back(entry);
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return std::nullopt;
@@ -235,6 +286,22 @@ SimConfig make_config(const CliOptions& options) {
   }
   if (!options.policy.empty()) {
     config.parse_override_string("policy=" + options.policy);
+  }
+  // --nodes must land before validate(): node_policies indices are
+  // checked against the final node count.
+  if (options.nodes != 0) config.nodes = options.nodes;
+  if (!options.node_policies.empty()) {
+    // Canonicalize the repeatable I=P flags into the config's
+    // "I:P;I:P" string so the override lands in the report's config
+    // snapshot (and round-trips through MAC3D_CONFIG).
+    std::string joined;
+    for (const std::string& entry : options.node_policies) {
+      if (!joined.empty()) joined += ";";
+      std::string item = entry;
+      item[item.find('=')] = ':';
+      joined += item;
+    }
+    config.parse_overrides({{"node_policies", joined}});
   }
   config.validate();
   return config;
@@ -293,6 +360,18 @@ int cmd_run(const CliOptions& cli) {
   if (!options.policy.empty() && cli.paths == CliOptions{}.paths) {
     options.paths = {options.policy};
   }
+  if (!options.node_policies.empty()) {
+    std::fprintf(stderr,
+                 "mac3d: --node-policy applies to the system command "
+                 "(run selects front-ends with --paths)\n");
+    return 2;
+  }
+  if (options.inject_livelock != 0 && !options.watchdog) {
+    std::fprintf(stderr,
+                 "mac3d: --inject-livelock requires --watchdog (the "
+                 "faulted run would never terminate)\n");
+    return 2;
+  }
   const SimConfig config = make_config(options);
   const std::uint32_t threads =
       options.threads == 0 ? config.cores : options.threads;
@@ -319,8 +398,20 @@ int cmd_run(const CliOptions& cli) {
       !options.trace_events.empty() || !options.report_path.empty();
   const bool want_sampler =
       options.sample_every > 0 || !options.sample_out.empty();
+  const bool want_snapshot = options.snapshot_every > 0 ||
+                             !options.snapshot_out.empty() ||
+                             options.watchdog;
 #if !MAC3D_OBS_ENABLED
-  if (want_tracer || want_sampler || options.profile) {
+  if (options.watchdog || options.inject_livelock != 0) {
+    // The drivers compile the snapshot serial points out under OBS=OFF:
+    // the watchdog would never observe a window (and an injected
+    // livelock would hang forever), so refuse instead of warning.
+    std::fprintf(stderr,
+                 "mac3d: --watchdog/--inject-livelock need a "
+                 "-DMAC3D_OBS=ON build\n");
+    return 2;
+  }
+  if (want_tracer || want_sampler || want_snapshot || options.profile) {
     std::fprintf(stderr,
                  "mac3d: warning: built with -DMAC3D_OBS=OFF; telemetry "
                  "options will record nothing\n");
@@ -336,6 +427,19 @@ int cmd_run(const CliOptions& cli) {
   CycleSampler sampler(options.sample_every == 0 ? 64 : options.sample_every);
   if (want_tracer) drive.sink = &tracer;
   if (want_sampler) drive.sampler = &sampler;
+
+  // Streaming snapshots + stall watchdog (docs/OBSERVABILITY.md
+  // §streaming snapshots). --watchdog without --snapshot-every rides
+  // the default window.
+  SnapshotStreamer snapshot(options.snapshot_every == 0
+                                ? 1024
+                                : options.snapshot_every);
+  StallWatchdog watchdog(options.watchdog_windows);
+  if (want_snapshot) {
+    drive.snapshot = &snapshot;
+    drive.inject_livelock_at = options.inject_livelock;
+    if (options.watchdog) snapshot.attach_watchdog(&watchdog);
+  }
 
   // --profile (docs/OBSERVABILITY.md §profiler): one census and one
   // latency decomposer per path (the driver seals each census at the end
@@ -375,8 +479,9 @@ int cmd_run(const CliOptions& cli) {
   // state forces the one-at-a-time schedule (docs/PARALLELISM.md).
   const std::uint32_t jobs =
       options.jobs == 0 ? ParallelStepper::env_jobs(1) : options.jobs;
-  const bool hooks_attached =
-      options.checks || want_tracer || want_sampler || options.profile;
+  const bool hooks_attached = options.checks || want_tracer ||
+                              want_sampler || want_snapshot ||
+                              options.profile;
   if (jobs > 1 && !hooks_attached && options.paths.size() > 1) {
     ParallelStepper stepper(jobs);
     stepper.for_shards(options.paths.size(), run_path);
@@ -395,6 +500,12 @@ int cmd_run(const CliOptions& cli) {
   if (!options.sample_out.empty() && !sampler.write_csv(options.sample_out)) {
     std::fprintf(stderr, "mac3d: cannot write %s\n",
                  options.sample_out.c_str());
+    return 2;
+  }
+  if (!options.snapshot_out.empty() &&
+      !snapshot.write(options.snapshot_out)) {
+    std::fprintf(stderr, "mac3d: cannot write %s\n",
+                 options.snapshot_out.c_str());
     return 2;
   }
 
@@ -421,6 +532,9 @@ int cmd_run(const CliOptions& cli) {
                       static_cast<double>(tracer.abandoned_records()));
     report.set_number("telemetry_in_flight_at_end",
                       static_cast<double>(tracer.in_flight_at_end()));
+    if (options.watchdog) {
+      report.set_raw("watchdog", watchdog.to_json());
+    }
     if (options.checks) {
       StatSet check_stats;
       checks.collect(check_stats, "checks");
@@ -464,6 +578,16 @@ int cmd_run(const CliOptions& cli) {
     }
   }
 
+  const int watchdog_exit = options.watchdog && watchdog.fired() ? 1 : 0;
+  if (watchdog_exit != 0) {
+    std::fprintf(stderr,
+                 "mac3d: watchdog fired at cycle %llu (%llu consecutive "
+                 "windows with zero completions, work in flight)\n",
+                 static_cast<unsigned long long>(watchdog.fired_at()),
+                 static_cast<unsigned long long>(
+                     watchdog.stalled_windows()));
+  }
+
   if (options.csv) {
     StatSet stats;
     for (const DriverResult& result : results) {
@@ -471,7 +595,7 @@ int cmd_run(const CliOptions& cli) {
     }
     if (options.checks) checks.collect(stats, "checks");
     std::cout << stats.to_csv();
-    return options.checks && checks.violations() != 0 ? 1 : 0;
+    return options.checks && checks.violations() != 0 ? 1 : watchdog_exit;
   }
 
   print_banner("mac3d run: " +
@@ -514,9 +638,9 @@ int cmd_run(const CliOptions& cli) {
   }
   if (options.checks) {
     std::printf("\n%s", checks.report().c_str());
-    return checks.violations() == 0 ? 0 : 1;
+    return checks.violations() == 0 ? watchdog_exit : 1;
   }
-  return 0;
+  return watchdog_exit;
 }
 
 int cmd_suite(const CliOptions& options) {
@@ -565,11 +689,12 @@ int cmd_suite(const CliOptions& options) {
 // report's "metrics" section.
 int cmd_system(const CliOptions& options) {
   const auto wall_start = std::chrono::steady_clock::now();
-  SimConfig config = make_config(options);
-  if (options.nodes != 0) {
-    config.nodes = options.nodes;
-    config.validate();
+  if (options.inject_livelock != 0) {
+    std::fprintf(stderr,
+                 "mac3d: --inject-livelock applies to the run command\n");
+    return 2;
   }
+  SimConfig config = make_config(options);  // applies --nodes pre-validate
   const MemoryTrace trace = make_trace(options, config);
 
   System system(config);
@@ -582,8 +707,18 @@ int cmd_system(const CliOptions& options) {
       !options.trace_events.empty() || !options.report_path.empty();
   const bool want_sampler =
       options.sample_every > 0 || !options.sample_out.empty();
+  const bool want_snapshot = options.snapshot_every > 0 ||
+                             !options.snapshot_out.empty() ||
+                             options.watchdog;
 #if !MAC3D_OBS_ENABLED
-  if (want_tracer || want_sampler || options.profile ||
+  if (options.watchdog) {
+    // The engines compile the snapshot serial points out under OBS=OFF:
+    // the watchdog would never observe a window, so refuse.
+    std::fprintf(stderr,
+                 "mac3d: --watchdog needs a -DMAC3D_OBS=ON build\n");
+    return 2;
+  }
+  if (want_tracer || want_sampler || want_snapshot || options.profile ||
       !options.report_path.empty()) {
     std::fprintf(stderr,
                  "mac3d: warning: built with -DMAC3D_OBS=OFF; telemetry "
@@ -618,6 +753,15 @@ int cmd_system(const CliOptions& options) {
   if (want_sampler) system.attach_sampler(&sampler);
   if (!options.report_path.empty()) system.attach_metrics(&registry);
 
+  SnapshotStreamer snapshot(options.snapshot_every == 0
+                                ? 1024
+                                : options.snapshot_every);
+  StallWatchdog watchdog(options.watchdog_windows);
+  if (want_snapshot) {
+    if (options.watchdog) snapshot.attach_watchdog(&watchdog);
+    system.attach_snapshot(&snapshot);
+  }
+
   // The system command defaults to the strict serial reference engine
   // (its committed baselines predate the event engine; all four engines
   // are bit-identical, so this is a wall-clock choice only).
@@ -638,6 +782,12 @@ int cmd_system(const CliOptions& options) {
   if (!options.sample_out.empty() && !sampler.write_csv(options.sample_out)) {
     std::fprintf(stderr, "mac3d: cannot write %s\n",
                  options.sample_out.c_str());
+    return 2;
+  }
+  if (!options.snapshot_out.empty() &&
+      !snapshot.write(options.snapshot_out)) {
+    std::fprintf(stderr, "mac3d: cannot write %s\n",
+                 options.snapshot_out.c_str());
     return 2;
   }
 
@@ -669,6 +819,9 @@ int cmd_system(const CliOptions& options) {
                       static_cast<double>(tracer.in_flight_at_end()));
     report.set_number("telemetry_hop_events",
                       static_cast<double>(tracer.hop_events()));
+    if (options.watchdog) {
+      report.set_raw("watchdog", watchdog.to_json());
+    }
     if (options.checks) {
       StatSet check_stats;
       checks.collect(check_stats, "checks");
@@ -697,9 +850,19 @@ int cmd_system(const CliOptions& options) {
     }
   }
 
+  const int watchdog_exit = options.watchdog && watchdog.fired() ? 1 : 0;
+  if (watchdog_exit != 0) {
+    std::fprintf(stderr,
+                 "mac3d: watchdog fired at cycle %llu (%llu consecutive "
+                 "windows with zero completions, work in flight)\n",
+                 static_cast<unsigned long long>(watchdog.fired_at()),
+                 static_cast<unsigned long long>(
+                     watchdog.stalled_windows()));
+  }
+
   if (options.csv) {
     std::cout << summary.stats.to_csv();
-    return options.checks && checks.violations() != 0 ? 1 : 0;
+    return options.checks && checks.violations() != 0 ? 1 : watchdog_exit;
   }
 
   print_banner("mac3d system: " +
@@ -724,9 +887,9 @@ int cmd_system(const CliOptions& options) {
   }
   if (options.checks) {
     std::printf("\n%s", checks.report().c_str());
-    return checks.violations() == 0 ? 0 : 1;
+    return checks.violations() == 0 ? watchdog_exit : 1;
   }
-  return 0;
+  return watchdog_exit;
 }
 
 /// `mac3d report-diff OLD NEW [--tolerance PCT] [--ignore PATH]
@@ -764,6 +927,47 @@ int cmd_report_diff(int argc, char** argv) {
     return 2;
   }
   return run_report_diff(files[0], files[1], diff);
+}
+
+/// `mac3d analyze REPORT --snapshots FILE [--json FILE]
+/// [--tolerance PCT]`: post-run bottleneck diagnosis over a run report
+/// plus its snapshot stream (docs/OBSERVABILITY.md §analyze). Positional
+/// REPORT, so it parses argv itself. Exit 0 clean, 1 when the watchdog
+/// fired or a conservation audit fails, 2 on IO/parse/usage trouble.
+int cmd_analyze(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string snapshots;
+  std::string json_out;
+  AnalysisOptions analysis;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--snapshots") {
+      snapshots = value();
+    } else if (arg == "--json") {
+      json_out = value();
+    } else if (arg == "--tolerance") {
+      analysis.tolerance_pct = std::atof(value());
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 1 || snapshots.empty()) {
+    std::fprintf(stderr,
+                 "usage: mac3d analyze REPORT --snapshots FILE "
+                 "[--json FILE] [--tolerance PCT]\n");
+    return 2;
+  }
+  return run_analyze(files[0], snapshots, json_out, analysis);
 }
 
 /// `mac3d lint [--root DIR] [--baseline FILE] [--sarif FILE]
@@ -833,6 +1037,9 @@ int cmd_config(const CliOptions& options) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "report-diff") == 0) {
     return cmd_report_diff(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "analyze") == 0) {
+    return cmd_analyze(argc, argv);
   }
   if (argc >= 2 && std::strcmp(argv[1], "lint") == 0) {
     return cmd_lint(argc, argv);

@@ -13,11 +13,16 @@ Node::Node(const SimConfig& config, NodeId id,
     : config_(config),
       id_(id),
       thread_owner_(thread_owner),
-      thread_core_(thread_core),
-      device_(std::make_unique<HmcDevice>(config, id)),
-      path_(make_memory_path(config, *device_)),
-      router_(std::make_unique<RequestRouter>(config, device_->address_map(),
-                                              id)) {
+      thread_core_(thread_core) {
+  // Heterogeneous systems (config.node_policies): this node's effective
+  // policy is pinned into its own config copy before the path is built,
+  // so everything downstream — metrics namespaces, census rows, check
+  // scopes — sees the per-node choice.
+  config_.policy = config.policy_for_node(id);
+  device_ = std::make_unique<HmcDevice>(config_, id);
+  path_ = make_memory_path(config_, *device_);
+  router_ = std::make_unique<RequestRouter>(config_, device_->address_map(),
+                                            id);
   cores_.reserve(config.cores);
   for (std::uint32_t c = 0; c < config.cores; ++c) {
     cores_.emplace_back(config, id, static_cast<CoreId>(c));

@@ -5,6 +5,7 @@
 
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
+#include "obs/snapshot.hpp"
 #include "sim/parallel.hpp"
 
 namespace mac3d {
@@ -43,36 +44,64 @@ void System::attach_census(ActivityCensus* census) {
 }
 
 void System::register_probes() {
-  if (sampler_ == nullptr) return;
-  sampler_->begin_run("system");
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    Node* node = nodes_[i].get();
-    const std::string prefix = "node" + std::to_string(i);
-    sampler_->add_probe(prefix + "_local_queue", [node](Cycle) {
-      return static_cast<double>(node->router().local_queue().size());
-    });
-    sampler_->add_probe(prefix + "_remote_queue", [node](Cycle) {
-      return static_cast<double>(node->router().remote_queue().size());
-    });
-    sampler_->add_probe(prefix + "_global_queue", [node](Cycle) {
-      return static_cast<double>(node->router().global_queue().size());
-    });
-  }
-  if (nodes_.size() > 1) {
-    Interconnect* fabric = fabric_.get();
+  if (sampler_ != nullptr) {
+    sampler_->begin_run("system");
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      const NodeId dest = static_cast<NodeId>(i);
-      sampler_->add_probe("fabric_req_backlog_n" + std::to_string(i),
-                          [fabric, dest](Cycle) {
-                            return static_cast<double>(
-                                fabric->request_backlog(dest));
-                          });
-      sampler_->add_probe("fabric_cmpl_backlog_n" + std::to_string(i),
-                          [fabric, dest](Cycle) {
-                            return static_cast<double>(
-                                fabric->completion_backlog(dest));
-                          });
+      Node* node = nodes_[i].get();
+      const std::string prefix = "node" + std::to_string(i);
+      sampler_->add_probe(prefix + "_local_queue", [node](Cycle) {
+        return static_cast<double>(node->router().local_queue().size());
+      });
+      sampler_->add_probe(prefix + "_remote_queue", [node](Cycle) {
+        return static_cast<double>(node->router().remote_queue().size());
+      });
+      sampler_->add_probe(prefix + "_global_queue", [node](Cycle) {
+        return static_cast<double>(node->router().global_queue().size());
+      });
     }
+    if (nodes_.size() > 1) {
+      Interconnect* fabric = fabric_.get();
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const NodeId dest = static_cast<NodeId>(i);
+        sampler_->add_probe("fabric_req_backlog_n" + std::to_string(i),
+                            [fabric, dest](Cycle) {
+                              return static_cast<double>(
+                                  fabric->request_backlog(dest));
+                            });
+        sampler_->add_probe("fabric_cmpl_backlog_n" + std::to_string(i),
+                            [fabric, dest](Cycle) {
+                              return static_cast<double>(
+                                  fabric->completion_backlog(dest));
+                            });
+      }
+    }
+  }
+  if (snapshot_ != nullptr) {
+    snapshot_->begin_run("system");
+    snapshot_->add_counter(SnapshotStreamer::kInjectedCounter, [this] {
+      std::uint64_t total = 0;
+      for (const auto& node : nodes_) {
+        for (std::size_t c = 0; c < node->core_count(); ++c) {
+          total += node->core(c).issued();
+        }
+      }
+      return total;
+    });
+    snapshot_->add_counter(SnapshotStreamer::kCompletionsCounter, [this] {
+      std::uint64_t total = 0;
+      for (const auto& node : nodes_) total += node->completions_delivered();
+      return total;
+    });
+    snapshot_->add_gauge("router_backlog", [this] {
+      std::size_t total = 0;
+      for (const auto& node : nodes_) {
+        total += node->router().local_queue().size() +
+                 node->router().remote_queue().size() +
+                 node->router().global_queue().size();
+      }
+      return static_cast<double>(total);
+    });
+    snapshot_->attach_census(census_);
   }
 }
 
@@ -82,6 +111,7 @@ void System::finalize_metrics(const SystemRunSummary& summary) {
   registry_->gauge("system.avg_request_latency_cycles")
       .set(summary.avg_latency_cycles);
   if (census_ != nullptr) census_->export_metrics(*registry_);
+  if (snapshot_ != nullptr) snapshot_->export_metrics(*registry_);
 }
 
 void System::attach_trace(const MemoryTrace& trace) {
@@ -132,6 +162,14 @@ SystemRunSummary System::run(Cycle max_cycles) {
         HostProfiler::Scope scope(profiler_, HostPhase::kSampler);
         sampler_->advance_to(now);
       }
+      if (snapshot_ != nullptr) {
+        HostProfiler::Scope scope(profiler_, HostPhase::kSampler);
+        snapshot_->advance_to(now);
+        // A fired watchdog abandons the run (summary.completed stays
+        // false) — the only exit a stalled system has short of
+        // max_cycles.
+        if (snapshot_->watchdog_fired()) break;
+      }
 
       bool drained = fabric == nullptr || fabric->idle();
       if (drained) {
@@ -150,9 +188,11 @@ SystemRunSummary System::run(Cycle max_cycles) {
     }
   } catch (...) {
     if (sampler_ != nullptr) sampler_->abort_run();
+    if (snapshot_ != nullptr) snapshot_->abort_run();
     throw;
   }
   if (sampler_ != nullptr) sampler_->end_run(now);
+  if (snapshot_ != nullptr) snapshot_->end_run(now);
   const SystemRunSummary summary = summarize(now, completed);
   finalize_metrics(summary);
   return summary;
@@ -171,6 +211,11 @@ Cycle System::next_wake(Cycle now, const Interconnect* fabric,
   // No advertised activity but not drained either (the caller already
   // checked): fall back to single-stepping rather than stalling.
   if (next == 0) next = now + 1;
+  // Snapshot boundaries are mandatory landing cycles: never skip over
+  // one, so every engine samples every window at identical state.
+  if (snapshot_ != nullptr && snapshot_->next_boundary(now) < next) {
+    next = snapshot_->next_boundary(now);
+  }
   return next < max_cycles ? next : max_cycles;
 }
 
@@ -209,6 +254,14 @@ SystemRunSummary System::run_event(Cycle max_cycles) {
         HostProfiler::Scope scope(profiler_, HostPhase::kSampler);
         sampler_->advance_to(now);
       }
+      if (snapshot_ != nullptr) {
+        HostProfiler::Scope scope(profiler_, HostPhase::kSampler);
+        snapshot_->advance_to(now);
+        // A fired watchdog abandons the run (summary.completed stays
+        // false) — the only exit a stalled system has short of
+        // max_cycles.
+        if (snapshot_->watchdog_fired()) break;
+      }
 
       bool drained = fabric == nullptr || fabric->idle();
       if (drained) {
@@ -230,9 +283,11 @@ SystemRunSummary System::run_event(Cycle max_cycles) {
     }
   } catch (...) {
     if (sampler_ != nullptr) sampler_->abort_run();
+    if (snapshot_ != nullptr) snapshot_->abort_run();
     throw;
   }
   if (sampler_ != nullptr) sampler_->end_run(now);
+  if (snapshot_ != nullptr) snapshot_->end_run(now);
   SystemRunSummary summary = summarize(now, completed);
   summary.visited_cycles = visited;
   finalize_metrics(summary);
@@ -287,6 +342,14 @@ SystemRunSummary System::run_parallel(std::uint32_t threads,
         HostProfiler::Scope scope(profiler_, HostPhase::kSampler);
         sampler_->advance_to(now);
       }
+      if (snapshot_ != nullptr) {
+        HostProfiler::Scope scope(profiler_, HostPhase::kSampler);
+        snapshot_->advance_to(now);
+        // A fired watchdog abandons the run (summary.completed stays
+        // false) — the only exit a stalled system has short of
+        // max_cycles.
+        if (snapshot_->watchdog_fired()) break;
+      }
 
       bool drained = fabric == nullptr || fabric->idle();
       if (drained) {
@@ -311,6 +374,7 @@ SystemRunSummary System::run_parallel(std::uint32_t threads,
     }
     if (fabric != nullptr) fabric->end_staged();
     if (sampler_ != nullptr) sampler_->abort_run();
+    if (snapshot_ != nullptr) snapshot_->abort_run();
     throw;
   }
   if (sink_ != nullptr) {
@@ -318,6 +382,7 @@ SystemRunSummary System::run_parallel(std::uint32_t threads,
   }
   if (fabric != nullptr) fabric->end_staged();
   if (sampler_ != nullptr) sampler_->end_run(now);
+  if (snapshot_ != nullptr) snapshot_->end_run(now);
   const SystemRunSummary summary = summarize(now, completed);
   finalize_metrics(summary);
   return summary;
@@ -368,6 +433,14 @@ SystemRunSummary System::run_event_parallel(std::uint32_t threads,
         HostProfiler::Scope scope(profiler_, HostPhase::kSampler);
         sampler_->advance_to(now);
       }
+      if (snapshot_ != nullptr) {
+        HostProfiler::Scope scope(profiler_, HostPhase::kSampler);
+        snapshot_->advance_to(now);
+        // A fired watchdog abandons the run (summary.completed stays
+        // false) — the only exit a stalled system has short of
+        // max_cycles.
+        if (snapshot_->watchdog_fired()) break;
+      }
 
       bool drained = fabric == nullptr || fabric->idle();
       if (drained) {
@@ -396,6 +469,7 @@ SystemRunSummary System::run_event_parallel(std::uint32_t threads,
     }
     if (fabric != nullptr) fabric->end_staged();
     if (sampler_ != nullptr) sampler_->abort_run();
+    if (snapshot_ != nullptr) snapshot_->abort_run();
     throw;
   }
   if (sink_ != nullptr) {
@@ -403,6 +477,7 @@ SystemRunSummary System::run_event_parallel(std::uint32_t threads,
   }
   if (fabric != nullptr) fabric->end_staged();
   if (sampler_ != nullptr) sampler_->end_run(now);
+  if (snapshot_ != nullptr) snapshot_->end_run(now);
   SystemRunSummary summary = summarize(now, completed);
   summary.visited_cycles = visited;
   finalize_metrics(summary);

@@ -20,6 +20,7 @@ namespace mac3d {
 
 class ActivityCensus;
 class HostProfiler;
+class SnapshotStreamer;
 
 struct SystemRunSummary {
   Cycle cycles = 0;
@@ -119,6 +120,19 @@ class System {
   /// detach future runs (registrations are not undone).
   void attach_census(ActivityCensus* census);
 
+  /// Attach a windowed snapshot streamer (docs/OBSERVABILITY.md
+  /// §streaming snapshots): every engine opens a "system" run, registers
+  /// the reserved injected/completions counters (aggregated over nodes)
+  /// plus a router-backlog gauge, advances the streamer at the common
+  /// serial point and treats window boundaries as mandatory landing
+  /// cycles for the event engines — the JSONL stream is byte-identical
+  /// across all four engines. A StallWatchdog attached to the streamer
+  /// abandons the run the window it fires (summary.completed == false).
+  /// The streamer must outlive the system; pass nullptr to detach.
+  void attach_snapshot(SnapshotStreamer* snapshot) noexcept {
+    snapshot_ = snapshot;
+  }
+
   /// Attach host wall-clock attribution: run()/run_parallel() time their
   /// tick / commit / telemetry / sampler phases, and run_parallel
   /// additionally records per-worker busy time. Host time never feeds
@@ -160,6 +174,7 @@ class System {
   CycleSampler* sampler_ = nullptr;
   ActivityCensus* census_ = nullptr;
   HostProfiler* profiler_ = nullptr;
+  SnapshotStreamer* snapshot_ = nullptr;
 };
 
 }  // namespace mac3d

@@ -60,6 +60,7 @@ bool MshrCoalescer::intake(const RawRequest& request, Cycle now) {
   if (request.op == MemOp::kFence) {
     if (!alloc_free) return false;
     fences_.push_back({Target{request.tid, request.tag, 0}, now});
+    ++stats_.fences_in;
     ++barrier_pending_;
     alloc_port_used_at_ = now;
     MAC3D_OBS_ACTIVITY(last_work_, now);

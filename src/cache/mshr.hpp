@@ -30,6 +30,7 @@ class EventSink;
 
 struct MshrStats {
   std::uint64_t raw_in = 0;
+  std::uint64_t fences_in = 0;     ///< fences accepted (complete like requests)
   std::uint64_t merged = 0;        ///< requests merged into an existing entry
   std::uint64_t packets_out = 0;   ///< fixed-size transactions dispatched
   std::uint64_t stalls_full = 0;   ///< cycles an allocation failed

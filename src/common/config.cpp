@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <functional>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "common/bitutil.hpp"
 
@@ -55,7 +57,46 @@ CoalescerPolicy parse_policy_value(const std::string& key,
   return policy;
 }
 
+/// Parse a "<i>:<policy>[;<i>:<policy>...]" node_policies string (the
+/// quoted to_kv form is accepted back, like parse_policy_value).
+std::vector<std::pair<std::uint32_t, CoalescerPolicy>> parse_node_policies(
+    const std::string& value) {
+  std::string text = value;
+  if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+    text = text.substr(1, text.size() - 2);
+  }
+  std::vector<std::pair<std::uint32_t, CoalescerPolicy>> entries;
+  if (text.empty()) return entries;
+  std::istringstream stream(text);
+  std::string entry;
+  while (std::getline(stream, entry, ';')) {
+    const auto colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw ConfigError("invalid node_policies entry '" + entry +
+                        "' (want <node>:<raw|mac|mshr|warp>)");
+    }
+    const std::uint32_t node = static_cast<std::uint32_t>(
+        parse_u64("node_policies", entry.substr(0, colon)));
+    CoalescerPolicy policy = CoalescerPolicy::kMac;
+    if (!parse_policy(entry.substr(colon + 1), policy)) {
+      throw ConfigError("invalid policy in node_policies entry '" + entry +
+                        "' (want raw|mac|mshr|warp)");
+    }
+    entries.emplace_back(node, policy);
+  }
+  return entries;
+}
+
 }  // namespace
+
+CoalescerPolicy SimConfig::policy_for_node(std::uint32_t node) const {
+  CoalescerPolicy result = policy;
+  // Later entries win, so a CLI can append overrides.
+  for (const auto& [index, entry] : parse_node_policies(node_policies)) {
+    if (index == node) result = entry;
+  }
+  return result;
+}
 
 std::uint32_t SimConfig::max_targets_per_entry() const noexcept {
   // Entry layout (Sec. 5.3.3): 64-bit extended address + FLIT map occupy
@@ -122,6 +163,13 @@ void SimConfig::validate() const {
               row_bytes % warp_block_bytes == 0,
           "warp_block_bytes must divide row_bytes");
   require(warp_window_cycles >= 1, "warp_window_cycles must be >= 1");
+  // Parses or throws; every listed node must exist in this system.
+  for (const auto& [index, entry] : parse_node_policies(node_policies)) {
+    (void)entry;
+    require(index < nodes, "node_policies references node " +
+                               std::to_string(index) + " but nodes = " +
+                               std::to_string(nodes));
+  }
 }
 
 void SimConfig::parse_overrides(
@@ -233,6 +281,17 @@ void SimConfig::parse_overrides(
           {"policy", [&](const std::string& v) {
              policy = parse_policy_value("policy", v);
            }},
+          {"node_policies", [&](const std::string& v) {
+             // Parse eagerly so malformed strings fail at the override
+             // site; quotes are stripped like parse_policy_value.
+             std::string text = v;
+             if (text.size() >= 2 && text.front() == '"' &&
+                 text.back() == '"') {
+               text = text.substr(1, text.size() - 2);
+             }
+             (void)parse_node_policies(text);
+             node_policies = text;
+           }},
           {"mshr_entries", [&](const std::string& v) {
              mshr_entries =
                  static_cast<std::uint32_t>(parse_u64("mshr_entries", v));
@@ -336,6 +395,7 @@ std::map<std::string, std::string> SimConfig::to_kv() const {
       {"mac_enabled", b(mac_enabled)},
       // Quoted: to_kv() values are JSON value tokens (see RunReport).
       {"policy", '"' + std::string(to_string(policy)) + '"'},
+      {"node_policies", '"' + node_policies + '"'},
       {"mshr_entries", u(mshr_entries)},
       {"mshr_block_bytes", u(mshr_block_bytes)},
       {"warp_lanes", u(warp_lanes)},

@@ -77,6 +77,12 @@ struct SimConfig {
   /// streaming drivers take the policy as an argument instead; the CLI's
   /// --policy flag sets both.
   CoalescerPolicy policy = CoalescerPolicy::kMac;
+  /// Heterogeneous per-node policy overrides for the full system:
+  /// "<i>:<raw|mac|mshr|warp>" entries joined by ';' (e.g. "0:raw;2:warp").
+  /// Listed nodes use their entry, unlisted nodes fall back to `policy`.
+  /// Empty = homogeneous. The CLI's repeatable --node-policy flag builds
+  /// this; the streaming drivers ignore it (they take a single policy).
+  std::string node_policies;
   std::uint32_t mshr_entries = 32;      ///< MSHR file size (mshr policy)
   std::uint32_t mshr_block_bytes = 64;  ///< MSHR merge block (mshr policy)
   std::uint32_t warp_lanes = 8;         ///< lanes per warp window (warp policy)
@@ -104,6 +110,10 @@ struct SimConfig {
   }
   /// Max merged targets per ARQ entry (Sec. 5.3.3: (64 − 10) / 4.5 = 12).
   [[nodiscard]] std::uint32_t max_targets_per_entry() const noexcept;
+  /// The policy node `node` runs: its node_policies entry if present,
+  /// otherwise `policy`. Throws ConfigError on a malformed node_policies
+  /// string (validate() rejects it up front).
+  [[nodiscard]] CoalescerPolicy policy_for_node(std::uint32_t node) const;
   /// Convert nanoseconds to CPU cycles (rounding to nearest).
   [[nodiscard]] Cycle ns_to_cycles(double ns) const noexcept;
   /// Convert CPU cycles to nanoseconds.

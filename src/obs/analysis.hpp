@@ -1,0 +1,150 @@
+// mac3d analyze: post-run bottleneck diagnosis over a run report plus its
+// windowed snapshot stream (docs/OBSERVABILITY.md §analyze).
+//
+// Ingests the `mac3d-snapshot/1` JSONL emitted by --snapshot-out together
+// with the `--report` JSON of the same run and derives what neither
+// artifact shows alone: per-window bandwidth efficiency, queue dwell via
+// Little's law (W = L / λ, cross-checked against the report's measured
+// latency), two conservation audits (stream-internal: window deltas must
+// sum to the footer totals; cross-artifact: footer totals must match the
+// report's own completion counts — and injection counts where the report
+// carries a fence-inclusive one), and a per-window critical-stage
+// ranking from the census activity deltas. The verdict is printed human-
+// readable and optionally mirrored to a machine JSON twin (schema
+// `mac3d-analysis/1`). Exit contract mirrors report-diff: 0 clean, 1 when
+// the watchdog fired or a conservation audit fails, 2 on IO/parse/usage
+// trouble. Little's-law mismatch is reported but never gates the exit —
+// it is a model sanity signal, not an invariant.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/report_diff.hpp"
+
+namespace mac3d {
+
+/// One window line of a snapshot stream, decoded. Counter/census values
+/// are the per-window deltas exactly as emitted (quiet entries absent).
+struct SnapshotWindowRow {
+  Cycle cycle = 0;
+  std::map<std::string, std::uint64_t> counters;
+  std::uint64_t in_flight = 0;
+  std::map<std::string, double> gauges;
+  std::map<std::string, std::uint64_t> census;
+};
+
+/// One run's span of a snapshot stream: the windows between its "run"
+/// marker and its "end" footer, plus the watchdog line if one fired.
+struct SnapshotRun {
+  std::string label;
+  std::vector<SnapshotWindowRow> windows;
+  bool watchdog_fired = false;
+  Cycle watchdog_cycle = 0;
+  std::uint64_t watchdog_stalled = 0;
+  std::uint64_t watchdog_threshold = 0;
+  bool has_footer = false;  ///< false: the run was aborted mid-stream
+  Cycle end_cycle = 0;
+  std::uint64_t footer_windows = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t in_flight_at_end = 0;
+};
+
+/// A parsed `mac3d-snapshot/1` stream: header period + one entry per run.
+struct SnapshotStream {
+  std::uint64_t period = 0;
+  std::vector<SnapshotRun> runs;
+};
+
+/// Parse a snapshot JSONL document. Returns false (message in `error`) on
+/// malformed lines, a wrong/missing header schema, or window lines
+/// outside any run.
+bool parse_snapshot_stream(const std::string& text, SnapshotStream& out,
+                           std::string& error);
+
+/// Read + parse a snapshot stream file (false on IO or parse failure).
+bool load_snapshot_stream(const std::string& file, SnapshotStream& out,
+                          std::string& error);
+
+/// Derived per-window diagnosis.
+struct WindowDiagnosis {
+  Cycle cycle = 0;
+  Cycle span = 0;  ///< cycles this window covers (last may be short)
+  std::uint64_t injected_delta = 0;
+  std::uint64_t completions_delta = 0;
+  std::uint64_t in_flight = 0;
+  /// data_bytes / link_bytes delta ratio; negative when the stream
+  /// carries no device byte counters (e.g. system runs).
+  double bandwidth_efficiency = -1.0;
+  std::string critical_stage;  ///< argmax census activity; "" if no census
+  double critical_utilization = 0.0;  ///< its active delta / span
+};
+
+/// Per-run verdict: Little's-law queue dwell, conservation audits and the
+/// dominant critical stage across windows.
+struct RunAnalysis {
+  std::string label;
+  std::vector<WindowDiagnosis> windows;
+  Cycle end_cycle = 0;
+  double throughput = 0.0;       ///< λ: completions per cycle
+  double mean_in_flight = 0.0;   ///< L: mean end-of-window in-flight
+  double derived_latency = 0.0;  ///< W = L / λ (0 when λ == 0)
+  bool has_report_latency = false;
+  double report_latency = 0.0;
+  /// |W - report| / report in percent; negative when unchecked (no
+  /// report latency or zero throughput). Informational only.
+  double little_mismatch_pct = -1.0;
+  bool little_ok = true;
+  bool stream_conserved = true;
+  std::string stream_conservation_error;
+  bool cross_checked = false;  ///< report carried matching totals
+  bool cross_conserved = true;
+  std::string cross_conservation_error;
+  bool watchdog_fired = false;
+  Cycle watchdog_cycle = 0;
+  std::string critical_component;  ///< most often argmax across windows
+  std::size_t critical_windows = 0;
+};
+
+struct AnalysisOptions {
+  /// Little's-law agreement tolerance in percent (does not gate exit).
+  double tolerance_pct = 10.0;
+};
+
+struct AnalysisResult {
+  std::vector<RunAnalysis> runs;
+  bool watchdog_fired = false;       ///< any run's watchdog fired
+  bool conservation_failed = false;  ///< any audit failed
+  [[nodiscard]] int exit_code() const noexcept {
+    return watchdog_fired || conservation_failed ? 1 : 0;
+  }
+};
+
+/// Pure analysis over already-parsed artifacts (unit-testable without
+/// files). `report` may be empty (default FlatReport): cross-artifact
+/// audits are then skipped, everything stream-internal still runs.
+AnalysisResult analyze_stream(const FlatReport& report,
+                              const SnapshotStream& stream,
+                              const AnalysisOptions& options);
+
+/// Human-readable verdict (one block per run).
+std::string render_analysis(const AnalysisResult& result,
+                            const AnalysisOptions& options);
+
+/// Machine twin of the verdict, schema `mac3d-analysis/1`.
+std::string analysis_json(const AnalysisResult& result,
+                          const AnalysisOptions& options);
+
+/// Full CLI entry for `mac3d analyze`: load report + stream, analyze,
+/// print the verdict, optionally write the JSON twin to `json_out`
+/// (empty = skip). Exit codes: 0 clean, 1 watchdog/conservation, 2 on
+/// IO/parse trouble.
+int run_analyze(const std::string& report_file,
+                const std::string& snapshots_file,
+                const std::string& json_out, const AnalysisOptions& options);
+
+}  // namespace mac3d

@@ -228,6 +228,45 @@ class FlattenParser {
   return buf;
 }
 
+/// Wildcard glob: '*' matches any run of characters (dots included).
+/// Iterative backtracking — linear for the short patterns --ignore takes.
+[[nodiscard]] bool glob_match(std::string_view pattern,
+                              std::string_view text) {
+  std::size_t p = 0;
+  std::size_t t = 0;
+  std::size_t star = std::string_view::npos;
+  std::size_t mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+/// One --ignore entry against one dotted path: globs when the entry
+/// carries a '*', otherwise exact path or section prefix ("metrics"
+/// covers "metrics.foo.bar").
+[[nodiscard]] bool ignore_match(const std::string& pattern,
+                                const std::string& path) {
+  if (pattern.find('*') != std::string::npos) {
+    return glob_match(pattern, path);
+  }
+  if (path == pattern) return true;
+  return path.size() > pattern.size() && path[pattern.size()] == '.' &&
+         path.compare(0, pattern.size(), pattern) == 0;
+}
+
 }  // namespace
 
 bool parse_report(const std::string& json, FlatReport& out,
@@ -243,10 +282,21 @@ bool parse_report(const std::string& json, FlatReport& out,
   out.schema = schema->second;
   if (out.schema != "mac3d-run-report/1" &&
       out.schema != "mac3d-run-report/2" &&
-      out.schema != "mac3d-run-report/3") {
+      out.schema != "mac3d-run-report/3" &&
+      out.schema != "mac3d-run-report/4") {
     error = "unsupported schema \"" + out.schema + "\"";
     return false;
   }
+  return true;
+}
+
+bool flatten_json(const std::string& json, FlatReport& out,
+                  std::string& error) {
+  out = FlatReport{};
+  FlattenParser parser(json, out);
+  if (!parser.parse(error)) return false;
+  const auto schema = out.strings.find("schema");
+  if (schema != out.strings.end()) out.schema = schema->second;
   return true;
 }
 
@@ -274,8 +324,10 @@ DiffResult diff_reports(const FlatReport& old_report,
     // Host wall-clock attribution is nondeterministic by nature: the
     // whole section is exempt from diffing by name (docs/OBSERVABILITY.md).
     if (path == "host" || path.rfind("host.", 0) == 0) return true;
-    return std::find(options.ignore.begin(), options.ignore.end(), path) !=
-           options.ignore.end();
+    return std::any_of(options.ignore.begin(), options.ignore.end(),
+                       [&path](const std::string& pattern) {
+                         return ignore_match(pattern, path);
+                       });
   };
 
   // Union walk of the two sorted numeric maps.
@@ -400,8 +452,10 @@ namespace {
 /// else means the report came from a newer (or foreign) writer and a
 /// diff would silently ignore whatever it contains — fail loudly instead.
 [[nodiscard]] bool known_section(const std::string& name) {
-  static constexpr std::string_view kKnown[] = {"config", "metrics", "paths",
-                                                "checks", "latency", "host"};
+  static constexpr std::string_view kKnown[] = {"config",  "metrics",
+                                                "paths",   "checks",
+                                                "latency", "host",
+                                                "watchdog"};
   return std::find(std::begin(kKnown), std::end(kKnown), name) !=
          std::end(kKnown);
 }

@@ -1,7 +1,7 @@
 // report-diff: the perf-regression half of the observability stack.
 //
-// Parses two run-report JSON files (schemas mac3d-run-report/1, /2 or
-// /3), flattens every numeric leaf to a dotted path
+// Parses two run-report JSON files (schemas mac3d-run-report/1 through
+// /4), flattens every numeric leaf to a dotted path
 // ("paths.mac.stats.bw", "metrics.node3.router.remote_in"), and compares
 // them metric-by-metric against a relative tolerance. Non-numeric leaves
 // (schema string, config tokens) participate as exact-match strings.
@@ -34,9 +34,16 @@ struct FlatReport {
 
 /// Parse `json` into a FlatReport. Returns false (with a one-line message
 /// in `error`) on malformed JSON or an unrecognized schema; accepts
-/// mac3d-run-report/1, /2 and /3 and reports missing "schema" as an
+/// mac3d-run-report/1 through /4 and reports missing "schema" as an
 /// error.
 bool parse_report(const std::string& json, FlatReport& out,
+                  std::string& error);
+
+/// Flatten ANY JSON document (no schema requirement — `out.schema` is
+/// whatever "schema" string leaf the document carries, or empty). Same
+/// dotted-path leaf maps as parse_report; used by `mac3d analyze` to walk
+/// arbitrary report/snapshot-derived structures.
+bool flatten_json(const std::string& json, FlatReport& out,
                   std::string& error);
 
 /// Read + parse a report file (false on IO or parse failure).
@@ -59,7 +66,11 @@ struct DiffOptions {
   double tolerance_pct = 0.0;
   /// Metrics appearing on only one side fail the diff when true.
   bool fail_on_missing = true;
-  /// Dotted paths excluded from comparison (exact match).
+  /// Paths excluded from comparison. Three forms per entry:
+  ///  - no '*': matches the exact dotted path OR any leaf under it as a
+  ///    section prefix ("metrics" skips metrics.* too);
+  ///  - with '*': a wildcard glob over the full dotted path, '*' matching
+  ///    any run of characters including dots ("metrics.node*.router.*").
   std::vector<std::string> ignore = {"wall_seconds"};
 };
 

@@ -22,9 +22,11 @@ class RunReport {
   /// Schema identity stamped into every report. /2 added the optional
   /// "metrics" section (MetricsRegistry export); /3 added the optional
   /// "latency" (per-stage residency decomposition) and "host" (wall-clock
-  /// attribution, exempt from diffing) sections. Readers (report-diff)
-  /// still accept /1 and /2.
-  static constexpr std::string_view kSchema = "mac3d-run-report/3";
+  /// attribution, exempt from diffing) sections; /4 added the optional
+  /// "watchdog" section (stall-watchdog verdict) and the node_policies
+  /// config key. Readers (report-diff) still accept /1 through /3.
+  static constexpr std::string_view kSchema = "mac3d-run-report/4";
+  static constexpr std::string_view kSchemaV3 = "mac3d-run-report/3";
   static constexpr std::string_view kSchemaV2 = "mac3d-run-report/2";
   static constexpr std::string_view kSchemaV1 = "mac3d-run-report/1";
 

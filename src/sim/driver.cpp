@@ -14,6 +14,7 @@
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
+#include "obs/snapshot.hpp"
 #include "sim/parallel.hpp"
 #include "sim/raw_path.hpp"
 #include "sim/tag_allocator.hpp"
@@ -96,10 +97,19 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
 #if MAC3D_OBS_ENABLED
   ActivityCensus* const census = options.census;
   HostProfiler* const profiler = options.profiler;
+  SnapshotStreamer* const snapshot = options.snapshot;
 #else
   ActivityCensus* const census = nullptr;
   HostProfiler* const profiler = nullptr;
+  SnapshotStreamer* const snapshot = nullptr;
 #endif
+  if (snapshot != nullptr) {
+    // The loop owns the completion count, so the reserved completions
+    // counter registers here; the run_* wrappers register the rest.
+    snapshot->add_counter(SnapshotStreamer::kCompletionsCounter,
+                          [&result] { return result.completions; });
+  }
+  const Cycle livelock_at = options.inject_livelock_at;
 
   while (records_left > 0 || !path.idle()) {
     // Intake: present arrived records round-robin until the path's intake
@@ -165,7 +175,11 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
     }
     {
       HostProfiler::Scope scope(profiler, HostPhase::kTelemetry);
-      for (const CompletedAccess& done : path.drain(now)) {
+      // Livelock fault injection (watchdog testing): past the trigger
+      // cycle completions are left undelivered in the path.
+      const bool drain_open = livelock_at == 0 || now < livelock_at;
+      for (const CompletedAccess& done :
+           drain_open ? path.drain(now) : std::vector<CompletedAccess>{}) {
         result.makespan = std::max(result.makespan, done.completed);
         ++result.completions;
         MAC3D_OBS_STAMP(options.sink, Stage::kCoreComplete, done.target.tid,
@@ -183,6 +197,13 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
       options.sampler->advance_to(now);
     }
 #endif
+    if (snapshot != nullptr) {
+      HostProfiler::Scope scope(profiler, HostPhase::kSampler);
+      snapshot->advance_to(now);
+    }
+    // A fired watchdog abandons the run at this serial point — the only
+    // exit a livelocked pipeline has.
+    if (snapshot != nullptr && snapshot->watchdog_fired()) break;
 
     // Advance time. The strict cycle engines always step one cycle (the
     // reference semantics); the event engines jump to the minimum
@@ -221,6 +242,11 @@ LoopResult run_streaming(Path& path, const MemoryTrace& trace,
     const Cycle path_next = path.next_event(now);
     if (path_next > now) next = std::min(next, path_next);
     next = (next == kNever || next <= now) ? now + 1 : next;
+    // Snapshot boundaries are mandatory landing cycles: never skip over
+    // one, so every engine samples every window at identical state.
+    if (snapshot != nullptr) {
+      next = std::min(next, snapshot->next_boundary(now));
+    }
     if (next > now + 1) {
       if (census != nullptr) census->skip_to(next);
 #if MAC3D_OBS_ENABLED
@@ -274,10 +300,19 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
 #if MAC3D_OBS_ENABLED
   ActivityCensus* const census = options.census;
   HostProfiler* const profiler = options.profiler;
+  SnapshotStreamer* const snapshot = options.snapshot;
 #else
   ActivityCensus* const census = nullptr;
   HostProfiler* const profiler = nullptr;
+  SnapshotStreamer* const snapshot = nullptr;
 #endif
+  if (snapshot != nullptr) {
+    // The loop owns the completion count, so the reserved completions
+    // counter registers here; the run_* wrappers register the rest.
+    snapshot->add_counter(SnapshotStreamer::kCompletionsCounter,
+                          [&result] { return result.completions; });
+  }
+  const Cycle livelock_at = options.inject_livelock_at;
 
   auto thread_issuable = [&](const ThreadCursor& cursor,
                              ThreadId tid) -> bool {
@@ -354,7 +389,11 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
     }
     {
       HostProfiler::Scope scope(profiler, HostPhase::kTelemetry);
-      for (const CompletedAccess& done : path.drain(now)) {
+      // Livelock fault injection (watchdog testing): past the trigger
+      // cycle completions are left undelivered in the path.
+      const bool drain_open = livelock_at == 0 || now < livelock_at;
+      for (const CompletedAccess& done :
+           drain_open ? path.drain(now) : std::vector<CompletedAccess>{}) {
         result.makespan = std::max(result.makespan, done.completed);
         ++result.completions;
         MAC3D_OBS_STAMP(options.sink, Stage::kCoreComplete, done.target.tid,
@@ -384,6 +423,13 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
       options.sampler->advance_to(now);
     }
 #endif
+    if (snapshot != nullptr) {
+      HostProfiler::Scope scope(profiler, HostPhase::kSampler);
+      snapshot->advance_to(now);
+    }
+    // A fired watchdog abandons the run at this serial point — the only
+    // exit a livelocked pipeline has.
+    if (snapshot != nullptr && snapshot->watchdog_fired()) break;
 
     // Advance time. Strict cycle engines step one cycle; event engines
     // jump to the earliest of (path event, thread ready time), crediting
@@ -431,6 +477,11 @@ LoopResult run_closed_loop(Path& path, const MemoryTrace& trace,
     const Cycle path_next = path.next_event(now);
     if (path_next > now) next = std::min(next, path_next);
     next = (next == kNever || next <= now) ? now + 1 : next;
+    // Snapshot boundaries are mandatory landing cycles: never skip over
+    // one, so every engine samples every window at identical state.
+    if (snapshot != nullptr) {
+      next = std::min(next, snapshot->next_boundary(now));
+    }
     if (next > now + 1) {
       if (census != nullptr) census->skip_to(next);
 #if MAC3D_OBS_ENABLED
@@ -502,10 +553,19 @@ LoopResult run_lane_group(Path& path, const MemoryTrace& trace,
 #if MAC3D_OBS_ENABLED
   ActivityCensus* const census = options.census;
   HostProfiler* const profiler = options.profiler;
+  SnapshotStreamer* const snapshot = options.snapshot;
 #else
   ActivityCensus* const census = nullptr;
   HostProfiler* const profiler = nullptr;
+  SnapshotStreamer* const snapshot = nullptr;
 #endif
+  if (snapshot != nullptr) {
+    // The loop owns the completion count, so the reserved completions
+    // counter registers here; the run_* wrappers register the rest.
+    snapshot->add_counter(SnapshotStreamer::kCompletionsCounter,
+                          [&result] { return result.completions; });
+  }
+  const Cycle livelock_at = options.inject_livelock_at;
 
   const auto participates = [&trace](const Group& group, std::uint32_t t) {
     return trace.thread(static_cast<ThreadId>(t)).size() > group.step;
@@ -572,7 +632,11 @@ LoopResult run_lane_group(Path& path, const MemoryTrace& trace,
     }
     {
       HostProfiler::Scope scope(profiler, HostPhase::kTelemetry);
-      for (const CompletedAccess& done : path.drain(now)) {
+      // Livelock fault injection (watchdog testing): past the trigger
+      // cycle completions are left undelivered in the path.
+      const bool drain_open = livelock_at == 0 || now < livelock_at;
+      for (const CompletedAccess& done :
+           drain_open ? path.drain(now) : std::vector<CompletedAccess>{}) {
         result.makespan = std::max(result.makespan, done.completed);
         ++result.completions;
         MAC3D_OBS_STAMP(options.sink, Stage::kCoreComplete, done.target.tid,
@@ -621,6 +685,13 @@ LoopResult run_lane_group(Path& path, const MemoryTrace& trace,
       options.sampler->advance_to(now);
     }
 #endif
+    if (snapshot != nullptr) {
+      HostProfiler::Scope scope(profiler, HostPhase::kSampler);
+      snapshot->advance_to(now);
+    }
+    // A fired watchdog abandons the run at this serial point — the only
+    // exit a livelocked pipeline has.
+    if (snapshot != nullptr && snapshot->watchdog_fired()) break;
 
     // Advance time (see run_streaming): event engines jump to the
     // earliest of (path event, earliest group gate).
@@ -660,6 +731,11 @@ LoopResult run_lane_group(Path& path, const MemoryTrace& trace,
     const Cycle path_next = path.next_event(now);
     if (path_next > now) next = std::min(next, path_next);
     next = (next == kNever || next <= now) ? now + 1 : next;
+    // Snapshot boundaries are mandatory landing cycles: never skip over
+    // one, so every engine samples every window at identical state.
+    if (snapshot != nullptr) {
+      next = std::min(next, snapshot->next_boundary(now));
+    }
     if (next > now + 1) {
       if (census != nullptr) census->skip_to(next);
 #if MAC3D_OBS_ENABLED
@@ -810,6 +886,35 @@ class SamplerWindow {
   bool closed_ = false;
 };
 
+/// Scopes one run's slice of a (possibly shared) SnapshotStreamer: opens
+/// the snapshot run, and guarantees the probes — which capture the run's
+/// path and device by reference — are dropped before those objects die,
+/// including on exception unwind (same hazard as SamplerWindow).
+class SnapshotWindow {
+ public:
+  SnapshotWindow(SnapshotStreamer* snapshot, const char* path_name)
+      : snapshot_(snapshot) {
+    if (snapshot_ != nullptr) snapshot_->begin_run(path_name);
+  }
+
+  SnapshotWindow(const SnapshotWindow&) = delete;
+  SnapshotWindow& operator=(const SnapshotWindow&) = delete;
+
+  ~SnapshotWindow() {
+    if (snapshot_ != nullptr && !closed_) snapshot_->abort_run();
+  }
+
+  /// Normal completion: flush the tail windows and the run footer.
+  void close(Cycle makespan) {
+    closed_ = true;
+    if (snapshot_ != nullptr) snapshot_->end_run(makespan);
+  }
+
+ private:
+  SnapshotStreamer* snapshot_;
+  bool closed_ = false;
+};
+
 /// Scopes one run's slice of a (possibly shared) ActivityCensus: its
 /// probes capture the run's path and device by reference, so seal() must
 /// run before those objects die — including on exception unwind (declare
@@ -857,6 +962,20 @@ void register_device_probes(CycleSampler& sampler, const HmcDevice& device) {
                       });
   }
 }
+
+/// Device-side snapshot counters/gauges shared by every path (the path
+/// adapter registers the reserved injected counter and its own occupancy
+/// gauge; the loop registers the reserved completions counter).
+void register_device_snapshot(SnapshotStreamer& snapshot,
+                              const HmcDevice& device) {
+  const HmcStats& stats = device.stats();
+  snapshot.add_counter("packets", [&stats] { return stats.requests; });
+  snapshot.add_counter("data_bytes", [&stats] { return stats.data_bytes; });
+  snapshot.add_counter("link_bytes", [&stats] { return stats.link_bytes; });
+  snapshot.add_gauge("device_in_flight", [&device] {
+    return static_cast<double>(device.in_flight());
+  });
+}
 #endif  // MAC3D_OBS_ENABLED
 
 }  // namespace
@@ -879,12 +998,15 @@ DriverResult run_mac(const MemoryTrace& trace, const SimConfig& config,
 #if MAC3D_OBS_ENABLED
   CycleSampler* const sampler = options.sampler;
   ActivityCensus* const census = options.census;
+  SnapshotStreamer* const snapshot = options.snapshot;
 #else
   CycleSampler* const sampler = nullptr;
   ActivityCensus* const census = nullptr;
+  SnapshotStreamer* const snapshot = nullptr;
 #endif
   SamplerWindow swindow(sampler, "mac");
   CensusWindow cwindow(census);
+  SnapshotWindow snwindow(snapshot, "mac");
 #if MAC3D_OBS_ENABLED
   if (sampler != nullptr) {
     sampler->add_probe("queue_occupancy", [&mac](Cycle) {
@@ -909,11 +1031,24 @@ DriverResult run_mac(const MemoryTrace& trace, const SimConfig& config,
     });
     device.register_census(*census, "node0.");
   }
+  if (snapshot != nullptr) {
+    // "injected" counts everything that will eventually complete —
+    // fences retire like requests, so they are folded in.
+    snapshot->add_counter(SnapshotStreamer::kInjectedCounter, [&mac] {
+      return mac.stats().raw_in + mac.stats().fences_in;
+    });
+    snapshot->add_gauge("queue_occupancy", [&mac] {
+      return static_cast<double>(mac.arq().size());
+    });
+    register_device_snapshot(*snapshot, device);
+    snapshot->attach_census(census);
+  }
 #endif
   EngineWindow engine(options, device);
   const LoopResult loop = dispatch(mac, trace, config, threads, options,
                                    engine);
   DriverResult result = finish(mac, device, loop, "mac");
+  snwindow.close(loop.makespan);
   swindow.close(loop.makespan);
   window.close(result);
   result.raw_requests = mac.stats().raw_in;
@@ -942,12 +1077,15 @@ DriverResult run_raw(const MemoryTrace& trace, const SimConfig& config,
 #if MAC3D_OBS_ENABLED
   CycleSampler* const sampler = options.sampler;
   ActivityCensus* const census = options.census;
+  SnapshotStreamer* const snapshot = options.snapshot;
 #else
   CycleSampler* const sampler = nullptr;
   ActivityCensus* const census = nullptr;
+  SnapshotStreamer* const snapshot = nullptr;
 #endif
   SamplerWindow swindow(sampler, "raw");
   CensusWindow cwindow(census);
+  SnapshotWindow snwindow(snapshot, "raw");
 #if MAC3D_OBS_ENABLED
   if (sampler != nullptr) {
     sampler->add_probe("queue_occupancy", [&raw](Cycle) {
@@ -961,11 +1099,22 @@ DriverResult run_raw(const MemoryTrace& trace, const SimConfig& config,
     census->add_component("node0.queue", raw);
     device.register_census(*census, "node0.");
   }
+  if (snapshot != nullptr) {
+    snapshot->add_counter(SnapshotStreamer::kInjectedCounter, [&raw] {
+      return raw.raw_in() + raw.fences_in();
+    });
+    snapshot->add_gauge("queue_occupancy", [&raw] {
+      return static_cast<double>(raw.queue_depth());
+    });
+    register_device_snapshot(*snapshot, device);
+    snapshot->attach_census(census);
+  }
 #endif
   EngineWindow engine(options, device);
   const LoopResult loop = dispatch(raw, trace, config, threads, options,
                                    engine);
   DriverResult result = finish(raw, device, loop, "raw");
+  snwindow.close(loop.makespan);
   swindow.close(loop.makespan);
   window.close(result);
   result.raw_requests = raw.raw_in();
@@ -993,12 +1142,15 @@ DriverResult run_mshr(const MemoryTrace& trace, const SimConfig& config,
 #if MAC3D_OBS_ENABLED
   CycleSampler* const sampler = options.sampler;
   ActivityCensus* const census = options.census;
+  SnapshotStreamer* const snapshot = options.snapshot;
 #else
   CycleSampler* const sampler = nullptr;
   ActivityCensus* const census = nullptr;
+  SnapshotStreamer* const snapshot = nullptr;
 #endif
   SamplerWindow swindow(sampler, "mshr");
   CensusWindow cwindow(census);
+  SnapshotWindow snwindow(snapshot, "mshr");
 #if MAC3D_OBS_ENABLED
   if (sampler != nullptr) {
     sampler->add_probe("queue_occupancy", [&mshr](Cycle) {
@@ -1014,11 +1166,22 @@ DriverResult run_mshr(const MemoryTrace& trace, const SimConfig& config,
     census->add_component("node0.mshr", mshr);
     device.register_census(*census, "node0.");
   }
+  if (snapshot != nullptr) {
+    snapshot->add_counter(SnapshotStreamer::kInjectedCounter, [&mshr] {
+      return mshr.stats().raw_in + mshr.stats().fences_in;
+    });
+    snapshot->add_gauge("queue_occupancy", [&mshr] {
+      return static_cast<double>(mshr.occupancy());
+    });
+    register_device_snapshot(*snapshot, device);
+    snapshot->attach_census(census);
+  }
 #endif
   EngineWindow engine(options, device);
   const LoopResult loop = dispatch(mshr, trace, config, threads, options,
                                    engine);
   DriverResult result = finish(mshr, device, loop, "mshr");
+  snwindow.close(loop.makespan);
   swindow.close(loop.makespan);
   window.close(result);
   result.raw_requests = mshr.stats().raw_in;
@@ -1045,12 +1208,15 @@ DriverResult run_warp(const MemoryTrace& trace, const SimConfig& config,
 #if MAC3D_OBS_ENABLED
   CycleSampler* const sampler = options.sampler;
   ActivityCensus* const census = options.census;
+  SnapshotStreamer* const snapshot = options.snapshot;
 #else
   CycleSampler* const sampler = nullptr;
   ActivityCensus* const census = nullptr;
+  SnapshotStreamer* const snapshot = nullptr;
 #endif
   SamplerWindow swindow(sampler, "warp");
   CensusWindow cwindow(census);
+  SnapshotWindow snwindow(snapshot, "warp");
 #if MAC3D_OBS_ENABLED
   if (sampler != nullptr) {
     sampler->add_probe("queue_occupancy", [&warp](Cycle) {
@@ -1066,11 +1232,22 @@ DriverResult run_warp(const MemoryTrace& trace, const SimConfig& config,
     census->add_component("node0.warp", warp);
     device.register_census(*census, "node0.");
   }
+  if (snapshot != nullptr) {
+    snapshot->add_counter(SnapshotStreamer::kInjectedCounter, [&warp] {
+      return warp.stats().raw_in + warp.stats().fences_in;
+    });
+    snapshot->add_gauge("queue_occupancy", [&warp] {
+      return static_cast<double>(warp.occupancy());
+    });
+    register_device_snapshot(*snapshot, device);
+    snapshot->attach_census(census);
+  }
 #endif
   EngineWindow engine(options, device);
   const LoopResult loop = dispatch(warp, trace, config, threads, options,
                                    engine);
   DriverResult result = finish(warp, device, loop, "warp");
+  snwindow.close(loop.makespan);
   swindow.close(loop.makespan);
   window.close(result);
   result.raw_requests = warp.stats().raw_in;

@@ -26,6 +26,7 @@ class CheckContext;
 class CycleSampler;
 class EventSink;
 class HostProfiler;
+class SnapshotStreamer;
 
 /// How the trace is fed into the memory path.
 enum class FeedMode {
@@ -145,6 +146,21 @@ struct DriveOptions {
   /// back into simulated results. Ignored when the build disables
   /// MAC3D_OBS.
   HostProfiler* profiler = nullptr;
+  /// Windowed snapshot streaming (docs/OBSERVABILITY.md §streaming
+  /// snapshots): when non-null, the driver opens a snapshot run named
+  /// after the path, registers the reserved injected/completions counters
+  /// plus byte counters and occupancy gauges, advances the streamer at
+  /// every serial point, and makes every window boundary a mandatory
+  /// landing cycle for the event engines (so the JSONL stream is
+  /// byte-identical across all four engines). If the streamer carries a
+  /// StallWatchdog, the driver abandons the run the window it fires.
+  /// Ignored when the build disables MAC3D_OBS.
+  SnapshotStreamer* snapshot = nullptr;
+  /// Livelock fault injection (watchdog testing only): from this cycle on
+  /// the driver stops draining completions, so accepted work stays in
+  /// flight forever and the run can only end through a fired watchdog.
+  /// 0 = disabled. Requires an attached snapshot streamer + watchdog.
+  Cycle inject_livelock_at = 0;
 };
 
 struct DriverResult {

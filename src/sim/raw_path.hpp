@@ -47,6 +47,7 @@ class RawPath {
     MAC3D_OBS_ACTIVITY(last_work_, now);
     accept_cycle_.put(key(request), now);
     raw_in_ += request.op != MemOp::kFence ? 1 : 0;
+    fences_in_ += request.op == MemOp::kFence ? 1 : 0;
     MAC3D_OBS_STAMP(sink_, Stage::kQueueInsert, request.tid, request.tag, now);
 #if MAC3D_CHECKS_ENABLED
     if (conservation_ != nullptr) {
@@ -146,6 +147,9 @@ class RawPath {
   }
 
   [[nodiscard]] std::uint64_t raw_in() const noexcept { return raw_in_; }
+  [[nodiscard]] std::uint64_t fences_in() const noexcept {
+    return fences_in_;
+  }
   [[nodiscard]] std::uint64_t packets_out() const noexcept {
     return packets_out_;
   }
@@ -206,6 +210,7 @@ class RawPath {
   std::vector<CompletedAccess> ready_;
   std::uint64_t outstanding_ = 0;
   std::uint64_t raw_in_ = 0;
+  std::uint64_t fences_in_ = 0;
   std::uint64_t packets_out_ = 0;
   TransactionId next_txn_ = 1;
   Cycle last_cycle_ = 0;

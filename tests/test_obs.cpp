@@ -578,7 +578,7 @@ TEST(RunReportJson, RendersSchemaConfigAndPerPathSections) {
   report.add_path_stage("mac", "bank_access", latency);
 
   const std::string json = report.to_json();
-  EXPECT_EQ(json.rfind("{\n  \"schema\": \"mac3d-run-report/3\"", 0), 0u)
+  EXPECT_EQ(json.rfind("{\n  \"schema\": \"mac3d-run-report/4\"", 0), 0u)
       << json;
   EXPECT_NE(json.find("\"workload\": \"sg\""), std::string::npos);
   EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);

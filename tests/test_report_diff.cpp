@@ -1,9 +1,11 @@
 // Report schema versioning and the regression-diff tool (src/obs/
 // report_diff.*, docs/OBSERVABILITY.md §report-diff):
-//  * the flattening parser reads schema /1 and /2 (legacy) and /3 reports;
-//  * a /3 report round-trips through the differ with a zero self-diff;
+//  * the flattening parser reads schema /1../3 (legacy) and /4 reports;
+//  * a /4 report round-trips through the differ with a zero self-diff;
 //  * tolerance gating fires on a perturbed metric and stays quiet inside
 //    the tolerance band;
+//  * --ignore entries silence exact paths, dot-bounded section prefixes
+//    and '*' globs (and exempt ignored paths from missing-metric gating);
 //  * the `host` section (wall-clock attribution) never gates a diff;
 //  * the CLI entry point returns the documented exit codes (0 in
 //    tolerance, 1 regression, 2 usage/IO/parse trouble) and fails loudly
@@ -45,11 +47,11 @@ std::string write_temp(const std::string& name, const std::string& body) {
   return path;
 }
 
-TEST(ReportParse, ReadsSchemaV3AndFlattensNestedSections) {
+TEST(ReportParse, ReadsSchemaV4AndFlattensNestedSections) {
   FlatReport flat;
   std::string error;
   ASSERT_TRUE(parse_report(sample_report().to_json(), flat, error)) << error;
-  EXPECT_EQ(flat.schema, "mac3d-run-report/3");
+  EXPECT_EQ(flat.schema, "mac3d-run-report/4");
   EXPECT_DOUBLE_EQ(flat.numbers.at("cycles"), 123456.0);
   EXPECT_DOUBLE_EQ(flat.numbers.at("paths.mac.stats.mac.packets"), 1024.0);
   EXPECT_DOUBLE_EQ(flat.numbers.at("paths.mac.stats.mac.avg_latency"), 87.5);
@@ -165,6 +167,64 @@ TEST(ReportDiff, HostSectionIsExemptByName) {
   const DiffResult result = diff_reports(a, b, DiffOptions{});
   EXPECT_TRUE(result.ok());
   EXPECT_TRUE(result.deltas.empty());
+}
+
+TEST(ReportDiff, IgnoreMatchesExactSectionPrefixAndGlob) {
+  FlatReport a;
+  FlatReport b;
+  std::string error;
+  ASSERT_TRUE(parse_report(sample_report().to_json(), a, error)) << error;
+  ASSERT_TRUE(parse_report(sample_report().to_json(), b, error)) << error;
+  b.numbers["paths.mac.stats.mac.packets"] = 9999.0;
+  b.numbers["paths.mac.stats.mac.avg_latency"] = 1.0;
+
+  DiffOptions none;
+  none.tolerance_pct = 1.0;
+  EXPECT_FALSE(diff_reports(a, b, none).ok());
+
+  // Exact path form silences one metric, the other still gates.
+  DiffOptions exact = none;
+  exact.ignore = {"paths.mac.stats.mac.packets"};
+  const DiffResult partial = diff_reports(a, b, exact);
+  EXPECT_FALSE(partial.ok());
+  ASSERT_EQ(partial.deltas.size(), 1u);
+  EXPECT_EQ(partial.deltas[0].path, "paths.mac.stats.mac.avg_latency");
+
+  // Section-prefix form silences the whole subtree.
+  DiffOptions prefix = none;
+  prefix.ignore = {"paths.mac"};
+  EXPECT_TRUE(diff_reports(a, b, prefix).ok());
+  EXPECT_TRUE(diff_reports(a, b, prefix).deltas.empty());
+
+  // A prefix must stop at a dot boundary: "paths.ma" matches nothing.
+  DiffOptions truncated = none;
+  truncated.ignore = {"paths.ma"};
+  EXPECT_FALSE(diff_reports(a, b, truncated).ok());
+
+  // Glob form: '*' spans dots too.
+  DiffOptions glob = none;
+  glob.ignore = {"paths.*.packets"};
+  const DiffResult globbed = diff_reports(a, b, glob);
+  EXPECT_FALSE(globbed.ok());
+  ASSERT_EQ(globbed.deltas.size(), 1u);
+  EXPECT_EQ(globbed.deltas[0].path, "paths.mac.stats.mac.avg_latency");
+  DiffOptions glob_all = none;
+  glob_all.ignore = {"paths.*"};
+  EXPECT_TRUE(diff_reports(a, b, glob_all).ok());
+}
+
+TEST(ReportDiff, IgnoredPathsAreExemptFromMissingGating) {
+  FlatReport a;
+  FlatReport b;
+  std::string error;
+  ASSERT_TRUE(parse_report(sample_report().to_json(), a, error)) << error;
+  ASSERT_TRUE(parse_report(sample_report().to_json(), b, error)) << error;
+  b.numbers.erase("paths.mac.stats.mac.packets");
+
+  EXPECT_FALSE(diff_reports(a, b, DiffOptions{}).ok());
+  DiffOptions ignored;
+  ignored.ignore = {"paths.mac.stats.mac.packets"};
+  EXPECT_TRUE(diff_reports(a, b, ignored).ok());
 }
 
 TEST(ReportDiff, MissingMetricsGateUnlessAllowed) {
